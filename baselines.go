@@ -1,0 +1,52 @@
+package coleader
+
+import (
+	"fmt"
+
+	"coleader/internal/baseline"
+	"coleader/internal/ring"
+)
+
+// Baseline names a classical content-carrying leader-election algorithm
+// (Section 1.2 of the paper) used for comparison experiments.
+type Baseline = baseline.Algorithm
+
+// The implemented baselines.
+const (
+	LeLann             = baseline.AlgLeLann
+	ChangRoberts       = baseline.AlgChangRoberts
+	HirschbergSinclair = baseline.AlgHirschbergSinclair
+	Peterson           = baseline.AlgPeterson
+)
+
+// Baselines lists every implemented baseline.
+func Baselines() []Baseline { return baseline.Algorithms() }
+
+// RunBaseline executes a classical content-carrying election on an
+// oriented ring — messages survive intact, unlike the fully defective
+// model — and returns its outcome in the same Result shape, with Pulses
+// holding the message count. Result.Predicted is 0: these algorithms'
+// counts are schedule-dependent.
+func RunBaseline(b Baseline, ids []uint64, opts ...Option) (Result, error) {
+	cfg := buildConfig(len(ids), opts)
+	if cfg.liveRun {
+		return Result{}, fmt.Errorf("coleader: baselines run on the simulator only")
+	}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		return Result{}, err
+	}
+	sched, err := cfg.scheduler()
+	if err != nil {
+		return Result{}, err
+	}
+	limit := cfg.limit
+	if limit == 0 {
+		n := uint64(len(ids))
+		limit = 16*n*n + 1024
+	}
+	res, err := baseline.Run(b, topo, ids, sched, limit)
+	out := collect(len(ids), ids, res.Statuses, res.TerminationOrder,
+		res.Sent, res.SentCW, res.SentCCW, res.Quiescent, res.AllTerminated, 0)
+	return out, err
+}

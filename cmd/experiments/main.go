@@ -1,0 +1,66 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: the
+// empirical verification of each quantitative claim in "Content-Oblivious
+// Leader Election on Rings" (Frei, Gelles, Ghazy, Nolin; DISC 2024).
+//
+// Usage:
+//
+//	experiments [-exp E1|E2|...|all] [-seed N] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"coleader/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (E1..E13 or 'all')")
+	seed := flag.Int64("seed", 1, "root seed for all randomized components")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	csvOut := flag.Bool("csv", false, "emit CSV (one block per table) for external plotting")
+	flag.Parse()
+
+	var todo []experiments.Experiment
+	if strings.EqualFold(*exp, "all") {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.Find(strings.ToUpper(*exp))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E9 or all)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *csvOut:
+			for _, t := range tables {
+				fmt.Printf("# %s — %s\n%s\n", e.ID, t.Title, t.CSV())
+			}
+		case *markdown:
+			fmt.Printf("### %s — %s\n\n", e.ID, e.Claim)
+			for _, t := range tables {
+				fmt.Println(t.Markdown())
+			}
+		default:
+			fmt.Printf("=== %s — %s\n\n", e.ID, e.Claim)
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+		}
+		if !*csvOut {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Command figures renders the repository's cost curves as ASCII charts —
+// the "figures" companion to cmd/experiments' tables: the Theta(n·ID_max)
+// law bracketed by Theorem 4's lower bound (F1), the content-oblivious
+// penalty against five classical algorithms (F2), the anonymous sampler's
+// ID_max distribution behind Lemma 18 (F3), and the universal transport's
+// chunk-width trade-off (F4).
+//
+// Usage:
+//
+//	figures [-fig F1|F2|F3|F4|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"coleader/internal/baseline"
+	"coleader/internal/core"
+	"coleader/internal/defective"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/viz"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to render (F1..F4 or all)")
+	seed := flag.Int64("seed", 1, "seed for randomized components")
+	flag.Parse()
+
+	figs := map[string]func(int64) (string, error){
+		"F1": f1, "F2": f2, "F3": f3, "F4": f4,
+	}
+	order := []string{"F1", "F2", "F3", "F4"}
+	want := strings.ToUpper(*fig)
+	if want != "ALL" {
+		if _, ok := figs[want]; !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		order = []string{want}
+	}
+	for _, id := range order {
+		out, err := figs[id](*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+// f1: Algorithm 2's measured cost against Theorem 4's lower bound and
+// Theorem 1's exact upper bound, as a function of ID_max at fixed n.
+func f1(seed int64) (string, error) {
+	const n = 8
+	rng := rand.New(rand.NewSource(seed))
+	var xs []string
+	lower := viz.Series{Name: "Theorem 4 lower bound n*floor(log2(ID_max/n))"}
+	meas := viz.Series{Name: "Algorithm 2 measured pulses"}
+	upper := viz.Series{Name: "Theorem 1 upper bound n(2*ID_max+1)"}
+	for _, factor := range []uint64{1, 4, 16, 64, 256, 1024} {
+		idMax := uint64(n) * factor
+		ids, err := ring.SparseIDs(n, idMax, rng)
+		if err != nil {
+			return "", err
+		}
+		maxIdx, _ := ring.MaxIndex(ids)
+		ids[maxIdx] = idMax
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			return "", err
+		}
+		ms, err := core.Alg2Machines(topo, ids)
+		if err != nil {
+			return "", err
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(seed))
+		if err != nil {
+			return "", err
+		}
+		pred := core.PredictedAlg2Pulses(n, idMax)
+		res, err := s.Run(4*pred + 1024)
+		if err != nil {
+			return "", err
+		}
+		xs = append(xs, fmt.Sprint(idMax))
+		lower.Ys = append(lower.Ys, float64(core.LowerBoundPulses(n, idMax)))
+		meas.Ys = append(meas.Ys, float64(res.Sent))
+		upper.Ys = append(upper.Ys, float64(pred))
+	}
+	// Measured is plotted last: it coincides with the upper bound on every
+	// point (Theorem 1 is exact), and later series win grid collisions, so
+	// the chart shows the measurements sitting exactly on the bound.
+	return viz.LinePlot(
+		fmt.Sprintf("F1 — pulses vs ID_max at n=%d: the Theta(n*ID_max) law between its bounds", n),
+		xs, []viz.Series{lower, upper, meas}, 16, true), nil
+}
+
+// f2: messages to elect vs ring size for the five classical baselines and
+// Algorithm 2.
+func f2(seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var xs []string
+	series := make([]viz.Series, 0, 6)
+	for _, a := range baseline.Algorithms() {
+		series = append(series, viz.Series{Name: string(a) + " (content)"})
+	}
+	series = append(series, viz.Series{Name: "alg2 (pulses, ID_max=4n)"})
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		xs = append(xs, fmt.Sprint(n))
+		idMax := uint64(4 * n)
+		ids, err := ring.SparseIDs(n, idMax, rng)
+		if err != nil {
+			return "", err
+		}
+		maxIdx, _ := ring.MaxIndex(ids)
+		ids[maxIdx] = idMax
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			return "", err
+		}
+		for i, a := range baseline.Algorithms() {
+			res, err := baseline.Run(a, topo, ids, sim.NewRandom(seed), 1<<22)
+			if err != nil {
+				return "", err
+			}
+			series[i].Ys = append(series[i].Ys, float64(res.Sent))
+		}
+		ms, err := core.Alg2Machines(topo, ids)
+		if err != nil {
+			return "", err
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(seed))
+		if err != nil {
+			return "", err
+		}
+		pred := core.PredictedAlg2Pulses(n, idMax)
+		res, err := s.Run(4*pred + 1024)
+		if err != nil {
+			return "", err
+		}
+		series[len(series)-1].Ys = append(series[len(series)-1].Ys, float64(res.Sent))
+	}
+	return viz.LinePlot(
+		"F2 — messages to elect vs ring size: the price of content-obliviousness",
+		xs, series, 16, true), nil
+}
+
+// f3: distribution of ID_max from Algorithm 4's sampler (log2 buckets).
+func f3(seed int64) (string, error) {
+	const n, c, trials = 32, 1.0, 20000
+	rng := rand.New(rand.NewSource(seed))
+	const buckets = 14
+	counts := make([]int, buckets)
+	labels := make([]string, buckets)
+	for i := range labels {
+		if i == buckets-1 {
+			labels[i] = fmt.Sprintf("2^%d+", 2*i)
+		} else {
+			labels[i] = fmt.Sprintf("2^%d..2^%d", 2*i, 2*i+2)
+		}
+	}
+	for t := 0; t < trials; t++ {
+		m := ring.MaxID(core.SampleIDs(rng, n, c))
+		b := int(math.Log2(float64(m))) / 2
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	return viz.Histogram(
+		fmt.Sprintf("F3 — Lemma 18: distribution of ID_max over %d anonymous rings (n=%d, c=%v)", trials, n, c),
+		labels, counts, 50), nil
+}
+
+// f4: the universal transport's chunk-width trade-off (E12 as a curve).
+func f4(seed int64) (string, error) {
+	const n = 5
+	ids := ring.PermutedIDs(n, rand.New(rand.NewSource(seed)))
+	var xs []string
+	cost := viz.Series{Name: "total pulses (Chang-Roberts over the layer)"}
+	frames := viz.Series{Name: "frames observed"}
+	for _, bits := range []uint{1, 2, 4, 8, 12, 16} {
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			return "", err
+		}
+		dec := func(v uint64) (baseline.Msg, error) { return baseline.UnpackMsg(v) }
+		ms := make([]node.PulseMachine, n)
+		var first *defective.Node
+		for k := 0; k < n; k++ {
+			inner, err := baseline.New(baseline.AlgChangRoberts, ids[k], pulse.Port1)
+			if err != nil {
+				return "", err
+			}
+			ad, err := defective.NewAdapterBits[baseline.Msg](inner, baseline.MustPackMsg, dec, bits)
+			if err != nil {
+				return "", err
+			}
+			dn, err := defective.NewNode(k == 0, topo.CWPort(k), ad)
+			if err != nil {
+				return "", err
+			}
+			if k == 0 {
+				first = dn
+			}
+			ms[k] = dn
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(seed+int64(bits)))
+		if err != nil {
+			return "", err
+		}
+		res, err := s.Run(1 << 26)
+		if err != nil {
+			return "", err
+		}
+		xs = append(xs, fmt.Sprint(bits))
+		cost.Ys = append(cost.Ys, float64(res.Sent))
+		frames.Ys = append(frames.Ys, float64(first.FramesObserved()))
+	}
+	return viz.LinePlot(
+		fmt.Sprintf("F4 — universal transport: chunk width vs cost (n=%d)", n),
+		xs, []viz.Series{cost, frames}, 14, true), nil
+}

@@ -1,0 +1,216 @@
+// Command ringsim runs a single content-oblivious leader election and
+// reports the outcome, optionally with a full pulse-level trace.
+//
+// Usage examples:
+//
+//	ringsim -algo alg2 -ids 4,9,2,7
+//	ringsim -algo alg3 -ids 3,1,2 -flips 1,0,1 -sched ccw-first
+//	ringsim -algo alg1 -ids 2,5,5 -trace
+//	ringsim -algo anonymous -n 8 -c 2 -seed 7
+//	ringsim -algo alg2 -ids 1,2,3 -live
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coleader"
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/trace"
+	"coleader/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	algo := flag.String("algo", "alg2", "algorithm: alg1 | alg2 | alg3 | anonymous")
+	idsFlag := flag.String("ids", "", "comma-separated node IDs in clockwise order (alg1/alg2/alg3)")
+	flipsFlag := flag.String("flips", "", "comma-separated 0/1 port flips (alg3/anonymous; default oriented)")
+	n := flag.Int("n", 8, "ring size (anonymous only)")
+	c := flag.Float64("c", 2, "Algorithm 4 reliability parameter (anonymous only)")
+	sched := flag.String("sched", "random", "scheduler: canonical | newest | random | roundrobin | ccw-first | cw-first | flaky | hashdelay")
+	seed := flag.Int64("seed", 1, "seed for randomized components")
+	liveRun := flag.Bool("live", false, "run on the goroutine-per-node live runtime")
+	doTrace := flag.Bool("trace", false, "print the full event trace (simulator only)")
+	diagram := flag.Bool("diagram", false, "print an ASCII space-time diagram (simulator only)")
+	jsonOut := flag.Bool("json", false, "with -trace: emit the event log as JSON")
+	flag.Parse()
+
+	opts := []coleader.Option{
+		coleader.WithSeed(*seed),
+		coleader.WithScheduler(coleader.SchedulerName(*sched)),
+	}
+	if *liveRun {
+		opts = append(opts, coleader.WithLiveRuntime())
+	}
+
+	var flips []bool
+	if *flipsFlag != "" {
+		for _, f := range strings.Split(*flipsFlag, ",") {
+			flips = append(flips, strings.TrimSpace(f) == "1")
+		}
+		opts = append(opts, coleader.WithPortFlips(flips...))
+	}
+
+	if *doTrace || *diagram {
+		if *liveRun {
+			return fmt.Errorf("-trace/-diagram require the deterministic simulator (drop -live)")
+		}
+		return runTraced(*algo, *idsFlag, flips, *sched, *seed, *diagram, *jsonOut)
+	}
+
+	var (
+		res coleader.Result
+		err error
+	)
+	switch *algo {
+	case "alg1":
+		ids, perr := parseIDs(*idsFlag)
+		if perr != nil {
+			return perr
+		}
+		res, err = coleader.ElectOrientedStabilizing(ids, opts...)
+	case "alg2":
+		ids, perr := parseIDs(*idsFlag)
+		if perr != nil {
+			return perr
+		}
+		res, err = coleader.ElectOriented(ids, opts...)
+	case "alg3":
+		ids, perr := parseIDs(*idsFlag)
+		if perr != nil {
+			return perr
+		}
+		res, err = coleader.ElectNonOriented(ids, opts...)
+	case "anonymous":
+		res, err = coleader.ElectAnonymous(*n, *c, opts...)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+func parseIDs(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("this algorithm needs -ids (e.g. -ids 4,9,2,7)")
+	}
+	var ids []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ID %q: %w", part, err)
+		}
+		ids = append(ids, v)
+	}
+	return ids, nil
+}
+
+func report(res coleader.Result) {
+	if res.Leader >= 0 {
+		fmt.Printf("leader: node %d (ID %d)\n", res.Leader, res.LeaderID)
+	} else {
+		fmt.Printf("leader: none unique (leaders among states below)\n")
+	}
+	fmt.Printf("pulses: %d total (%d cw, %d ccw)", res.Pulses, res.PulsesCW, res.PulsesCCW)
+	if res.Predicted > 0 {
+		fmt.Printf("  [paper predicts %d]", res.Predicted)
+	}
+	fmt.Println()
+	fmt.Printf("quiescent: %t   terminated: %t\n", res.Quiescent, res.Terminated)
+	if len(res.TerminationOrder) > 0 {
+		fmt.Printf("termination order: %v\n", res.TerminationOrder)
+	}
+	for k, nd := range res.Nodes {
+		fmt.Printf("  node %d: ID=%d state=%v", k, nd.ID, nd.State)
+		if nd.HasOrientation {
+			fmt.Printf(" cw-port=%v", nd.CWPort)
+		}
+		if nd.Terminated {
+			fmt.Printf(" terminated")
+		}
+		fmt.Println()
+	}
+}
+
+// runTraced re-runs on the simulator with a recorder attached and prints
+// the event log or a space-time diagram. It goes through the internal
+// packages directly because tracing is a development feature.
+func runTraced(algo, idsFlag string, flips []bool, schedName string, seed int64, diagram, jsonOut bool) error {
+	ids, err := parseIDs(idsFlag)
+	if err != nil {
+		return err
+	}
+	var topo ring.Topology
+	if flips != nil {
+		topo, err = ring.NonOriented(flips)
+	} else {
+		topo, err = ring.Oriented(len(ids))
+	}
+	if err != nil {
+		return err
+	}
+	var ms []node.PulseMachine
+	var predicted uint64
+	switch algo {
+	case "alg1":
+		ms, err = core.Alg1Machines(topo, ids)
+		predicted = core.PredictedAlg1Pulses(len(ids), ring.MaxID(ids))
+	case "alg2":
+		ms, err = core.Alg2Machines(topo, ids)
+		predicted = core.PredictedAlg2Pulses(len(ids), ring.MaxID(ids))
+	case "alg3":
+		ms, err = core.Alg3Machines(len(ids), ids, core.SchemeSuccessor)
+		predicted = core.PredictedAlg3Pulses(len(ids), ring.MaxID(ids), core.SchemeSuccessor)
+	default:
+		return fmt.Errorf("tracing supports alg1|alg2|alg3, not %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	sched, ok := sim.Stock(seed)[schedName]
+	if !ok {
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+	rec := &trace.Recorder{}
+	s, err := sim.New(topo, ms, sched, sim.WithObserver[pulse.Pulse](rec))
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(4*predicted + 1024)
+	if err != nil {
+		return err
+	}
+	switch {
+	case diagram:
+		fmt.Print(viz.SpaceTime(rec.Events, topo.N()))
+		fmt.Println()
+		fmt.Print(viz.ChannelLoad(rec.Events, topo.N()))
+	case jsonOut:
+		doc, err := rec.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(doc))
+	default:
+		fmt.Print(rec.String())
+	}
+	fmt.Printf("--- %d events, %d pulses (predicted %d), leader %d\n",
+		len(rec.Events), res.Sent, predicted, res.Leader)
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command solitude explores the lower-bound machinery of Section 6: it
+// extracts solitude patterns (Definition 21), verifies their pairwise
+// uniqueness (Lemma 22), and tabulates the n·floor(log2(k/n)) bound of
+// Theorem 20 against the measured cost of Algorithm 2.
+//
+// Usage:
+//
+//	solitude -max 64           # print patterns for IDs 1..64 and verify uniqueness
+//	solitude -max 4096 -quiet  # verify a large range without printing patterns
+//	solitude -bound -n 8       # tabulate the Theorem 20 bound for a ring size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coleader/internal/core"
+	"coleader/internal/lowerbound"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+func main() {
+	max := flag.Uint64("max", 32, "largest ID to extract a solitude pattern for")
+	quiet := flag.Bool("quiet", false, "suppress per-ID pattern output")
+	bound := flag.Bool("bound", false, "print the Theorem 20 lower-bound table instead of patterns")
+	n := flag.Int("n", 4, "ring size for the -bound table")
+	flag.Parse()
+
+	if *bound {
+		fmt.Printf("Theorem 20: any content-oblivious election on n=%d sends >= n*floor(log2(k/n)) pulses\n", *n)
+		fmt.Printf("%-12s %-14s %-22s\n", "k (IDs)", "lower bound", "Alg. 2 upper bound")
+		for k := uint64(*n); k <= uint64(*n)<<16; k <<= 2 {
+			fmt.Printf("%-12d %-14d %-22d\n",
+				k, core.LowerBoundPulses(*n, k), core.PredictedAlg2Pulses(*n, k))
+		}
+		return
+	}
+
+	mk := func(id uint64) (node.PulseMachine, error) { return core.NewAlg2(id, pulse.Port1) }
+	patterns, err := lowerbound.Patterns(mk, *max, 16*(*max)+1024)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solitude:", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		for id := uint64(1); id <= *max; id++ {
+			fmt.Printf("ID %4d: %s\n", id, patterns[id])
+		}
+	}
+	minLen, err := lowerbound.VerifyUnique(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "solitude: LEMMA 22 VIOLATED:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Lemma 22 verified: %d solitude patterns, all pairwise distinct (min length %d).\n",
+		len(patterns), minLen)
+	fmt.Printf("Max shared prefix: %d (pigeonhole floor for pairs: %d).\n",
+		lowerbound.MaxSharedPrefix(patterns), core.LowerBoundPulses(2, *max)/2)
+}

@@ -1,0 +1,130 @@
+package coleader
+
+import (
+	"fmt"
+
+	"coleader/internal/baseline"
+	"coleader/internal/core"
+	"coleader/internal/defective"
+	"coleader/internal/node"
+	"coleader/internal/ring"
+)
+
+// App is a content-carrying asynchronous ring algorithm to be simulated
+// over the fully defective network (Corollary 5). See the defective layer
+// documentation for the transport protocol.
+type App = defective.App
+
+// API is the interface the defective layer offers a running App.
+type API = defective.API
+
+// Dir addresses a ring neighbor in the simulated algorithm's terms.
+type Dir = defective.Dir
+
+// Neighbor directions.
+const (
+	ToCW  = defective.ToCW
+	ToCCW = defective.ToCCW
+)
+
+// NewMaxApp returns a max-consensus application: every node ends up
+// knowing the maximum of all inputs.
+func NewMaxApp(input uint64) *defective.RingMax { return defective.NewRingMax(input) }
+
+// NewSumApp returns a sum application: every node ends up knowing the sum
+// of all inputs.
+func NewSumApp(input uint64) *defective.RingSum { return defective.NewRingSum(input) }
+
+// NewCRApp returns Chang–Roberts as an application — a content-carrying
+// election running over the content-oblivious transport.
+func NewCRApp(id uint64) *defective.RingCR { return defective.NewRingCR(id) }
+
+// AdaptBaseline wraps one node of a classical content-carrying election
+// algorithm (see Baselines) as an App, so it can run over the fully
+// defective transport via Compute. The returned app's final state is
+// reported through BaselineOutcome.
+func AdaptBaseline(b Baseline, appID uint64) (App, error) {
+	inner, err := baseline.New(b, appID, Port1)
+	if err != nil {
+		return nil, err
+	}
+	dec := func(v uint64) (baseline.Msg, error) { return baseline.UnpackMsg(v) }
+	return defective.NewAdapter[baseline.Msg](inner, baseline.MustPackMsg, dec)
+}
+
+// BaselineOutcome reports the inner state of an app built by
+// AdaptBaseline after a Compute run.
+type BaselineOutcome struct {
+	State State
+	Err   error
+}
+
+// InspectBaseline extracts the outcome of an AdaptBaseline app.
+func InspectBaseline(a App) (BaselineOutcome, error) {
+	ad, ok := a.(*defective.Adapter[baseline.Msg])
+	if !ok {
+		return BaselineOutcome{}, fmt.Errorf("coleader: app was not built by AdaptBaseline")
+	}
+	return BaselineOutcome{State: ad.Inner().Status().State, Err: ad.Err()}, nil
+}
+
+// ComputeResult augments an election Result with the computation phase's
+// outcome.
+type ComputeResult struct {
+	Result
+	// SetupPulses is the paper-exact cost of the layer's census and
+	// n-broadcast: 2n^2 + 4n.
+	SetupPulses uint64
+	// Indices holds each node's layer index (clockwise distance from the
+	// elected leader).
+	Indices []int
+}
+
+// Compute realizes Corollary 5 end to end on an oriented fully defective
+// ring: Algorithm 2 elects the maximum-ID node; every node then switches —
+// termination becomes the switch, exactly as Section 1.1 prescribes — into
+// the universal simulation layer rooted at the leader; and apps[k] (the
+// content-carrying algorithm at node k) runs over pulses until some app
+// calls Halt. IDs must be distinct and positive; len(apps) == len(ids).
+func Compute(ids []uint64, apps []App, opts ...Option) (ComputeResult, error) {
+	if len(apps) != len(ids) {
+		return ComputeResult{}, fmt.Errorf("coleader: %d apps for %d IDs", len(apps), len(ids))
+	}
+	cfg := buildConfig(len(ids), opts)
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		return ComputeResult{}, err
+	}
+	ms := make([]node.PulseMachine, len(ids))
+	for k := range ms {
+		m, err := defective.NewComposed(ids[k], topo.CWPort(k), apps[k])
+		if err != nil {
+			return ComputeResult{}, fmt.Errorf("coleader: node %d: %w", k, err)
+		}
+		ms[k] = m
+	}
+	if cfg.limit == 0 {
+		// The computation phase is open-ended (apps decide when to halt);
+		// give it generous headroom over the election's cost.
+		n, idMax := uint64(len(ids)), ring.MaxID(ids)
+		cfg.limit = 64*n*n*(idMax+16) + 1<<16
+	}
+	// Result.Predicted carries the election phase's exact cost (Theorem 1);
+	// the layer setup adds SetupPulses; only the computation phase is
+	// app-dependent.
+	electionCost := core.PredictedAlg2Pulses(len(ids), ring.MaxID(ids))
+	res, err := cfg.run(topo, ms, ids, electionCost, nil)
+	out := ComputeResult{
+		Result:      res,
+		SetupPulses: defective.PredictedSetupPulses(len(ids)),
+	}
+	for _, m := range ms {
+		c := m.(*defective.Composed)
+		if c.Layer() == nil {
+			out.Indices = nil
+			return out, fmt.Errorf("coleader: node never switched to the computation layer")
+		}
+		out.Indices = append(out.Indices, c.Layer().Index())
+	}
+	return out, err
+}

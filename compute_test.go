@@ -1,0 +1,95 @@
+package coleader_test
+
+import (
+	"testing"
+
+	"coleader"
+)
+
+// TestComputeBaselineTripleComposition: Algorithm 2 elects a transport
+// root, the ring switches into the universal layer, and an unchanged
+// classical election runs on top — the app-level leader must be the
+// maximum APP id, independent of the transport leader.
+func TestComputeBaselineTripleComposition(t *testing.T) {
+	transportIDs := []uint64{3, 9, 5, 2} // transport leader: node 1
+	appIDs := []uint64{40, 10, 30, 20}   // app leader: node 0
+	for _, algo := range coleader.Baselines() {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			apps := make([]coleader.App, len(transportIDs))
+			for k := range apps {
+				app, err := coleader.AdaptBaseline(algo, appIDs[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				apps[k] = app
+			}
+			res, err := coleader.Compute(transportIDs, apps, coleader.WithSeed(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Leader != 1 {
+				t.Errorf("transport leader = %d, want 1", res.Leader)
+			}
+			if !res.Terminated || !res.Quiescent {
+				t.Errorf("terminated=%t quiescent=%t", res.Terminated, res.Quiescent)
+			}
+			for k, a := range apps {
+				out, err := coleader.InspectBaseline(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Err != nil {
+					t.Fatalf("node %d transport fault: %v", k, out.Err)
+				}
+				want := coleader.NonLeader
+				if k == 0 {
+					want = coleader.Leader
+				}
+				if out.State != want {
+					t.Errorf("node %d app state %v, want %v", k, out.State, want)
+				}
+			}
+		})
+	}
+}
+
+// TestInspectBaselineRejectsForeignApp: InspectBaseline only accepts apps
+// built by AdaptBaseline.
+func TestInspectBaselineRejectsForeignApp(t *testing.T) {
+	if _, err := coleader.InspectBaseline(coleader.NewMaxApp(1)); err == nil {
+		t.Error("foreign app accepted")
+	}
+}
+
+// TestAdaptBaselineValidation covers the constructor.
+func TestAdaptBaselineValidation(t *testing.T) {
+	if _, err := coleader.AdaptBaseline("bogus", 1); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := coleader.AdaptBaseline(coleader.LeLann, 0); err == nil {
+		t.Error("zero app ID accepted")
+	}
+}
+
+// TestComputeOnLiveRuntime: the entire Corollary 5 stack also runs on the
+// goroutine-per-node runtime.
+func TestComputeOnLiveRuntime(t *testing.T) {
+	ids := []uint64{3, 7, 1}
+	apps := []coleader.App{
+		coleader.NewMaxApp(5), coleader.NewMaxApp(12), coleader.NewMaxApp(8),
+	}
+	res, err := coleader.Compute(ids, apps, coleader.WithLiveRuntime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 1 {
+		t.Errorf("leader = %d, want 1", res.Leader)
+	}
+	for k, a := range apps {
+		got := a.(interface{ Result() uint64 }).Result()
+		if got != 12 {
+			t.Errorf("node %d result %d, want 12", k, got)
+		}
+	}
+}

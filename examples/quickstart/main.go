@@ -1,0 +1,46 @@
+// Quickstart: elect a leader on an oriented ring whose channels destroy
+// every message's content.
+//
+// The four nodes below can communicate only through contentless pulses
+// (the fully defective model), yet Algorithm 2 of Frei, Gelles, Ghazy, and
+// Nolin elects the maximum-ID node, everyone terminates knowing their
+// role, and the total number of pulses is exactly n(2·ID_max+1) — here
+// 4·(2·9+1) = 76 — no matter how the network schedules deliveries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coleader"
+)
+
+func main() {
+	// IDs in clockwise ring order. Any distinct positive integers work;
+	// the cost scales with the largest one.
+	ids := []uint64{4, 9, 2, 7}
+
+	res, err := coleader.ElectOriented(ids, coleader.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ring of %d nodes with IDs %v\n", res.N, ids)
+	fmt.Printf("elected: node %d (ID %d)\n", res.Leader, res.LeaderID)
+	fmt.Printf("pulses:  %d — the paper predicts exactly %d\n", res.Pulses, res.Predicted)
+	fmt.Printf("all nodes terminated quiescently: %t\n", res.Terminated && res.Quiescent)
+	fmt.Printf("termination order (leader last): %v\n", res.TerminationOrder)
+
+	// The same election on the goroutine-per-node runtime: the Go
+	// scheduler now plays the asynchronous adversary, and the pulse count
+	// still lands on the exact same number — Theorem 1's complexity is
+	// schedule-independent.
+	live, err := coleader.ElectOriented(ids, coleader.WithLiveRuntime())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live runtime: leader node %d, %d pulses (same exact count)\n",
+		live.Leader, live.Pulses)
+}

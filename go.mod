@@ -1,0 +1,3 @@
+module coleader
+
+go 1.22

@@ -1,0 +1,116 @@
+// Package baseline implements the classical content-carrying leader
+// election algorithms that Section 1.2 of the paper positions its result
+// against: Le Lann, Chang–Roberts (both Theta(n^2) worst case),
+// Hirschberg–Sinclair, and Peterson's unidirectional algorithm (both
+// O(n log n)). They run on the same simulator as the content-oblivious
+// algorithms — sim.Sim[baseline.Msg] instead of sim.Sim[pulse.Pulse] — so
+// experiment E6 can compare message counts under identical schedulers and
+// quantify the price of content-obliviousness: Theta(n·ID_max) pulses
+// against O(n log n) content-carrying messages.
+package baseline
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Kind tags the role of a message within its algorithm.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindToken is a circulating identifier (Le Lann, Chang–Roberts,
+	// Peterson probes).
+	KindToken Kind = iota + 1
+	// KindProbe is a bounded-distance probe (Hirschberg–Sinclair).
+	KindProbe
+	// KindReply is a probe acknowledgment traveling back (Hirschberg–
+	// Sinclair).
+	KindReply
+	// KindAnnounce carries the elected leader's ID around the ring.
+	KindAnnounce
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindToken:
+		return "token"
+	case KindProbe:
+		return "probe"
+	case KindReply:
+		return "reply"
+	case KindAnnounce:
+		return "announce"
+	default:
+		return "kind?"
+	}
+}
+
+// Msg is the content-carrying ring message. In the fully defective model
+// this entire struct would be erased to a pulse; here it survives intact,
+// which is exactly the advantage being measured.
+type Msg struct {
+	Kind  Kind
+	ID    uint64
+	Phase uint8
+	Hops  uint32
+	// Flag is algorithm-specific: Itai–Rodeh's "still unique" bit.
+	Flag bool
+}
+
+// Machine is a content-carrying ring machine.
+type Machine = node.Machine[Msg]
+
+// Emitter is the emitter handed to baseline machines.
+type Emitter = node.Emitter[Msg]
+
+// common holds the bookkeeping shared by all four baselines.
+type common struct {
+	id       uint64
+	cwPort   pulse.Port
+	state    node.State
+	leaderID uint64
+	decided  bool
+	term     bool
+	err      error
+}
+
+// ID returns the node's identifier.
+func (c *common) ID() uint64 { return c.id }
+
+// LeaderID returns the elected leader's ID as learned by this node (0
+// before decision).
+func (c *common) LeaderID() uint64 { return c.leaderID }
+
+// Decided reports whether the node has fixed its output.
+func (c *common) Decided() bool { return c.decided }
+
+// Status implements part of node.Machine.
+func (c *common) Status() node.Status {
+	return node.Status{State: c.state, Terminated: c.term, Err: c.err}
+}
+
+// Ready implements part of node.Machine.
+func (c *common) Ready(pulse.Port) bool { return !c.term }
+
+func (c *common) sendCW(e Emitter, m Msg)  { e.Send(c.cwPort, m) }
+func (c *common) sendCCW(e Emitter, m Msg) { e.Send(c.cwPort.Opposite(), m) }
+
+func (c *common) fault(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func newCommon(id uint64, cwPort pulse.Port) (common, error) {
+	if id == 0 {
+		return common{}, fmt.Errorf("baseline: ID must be positive")
+	}
+	if !cwPort.Valid() {
+		return common{}, fmt.Errorf("baseline: invalid clockwise port %d", cwPort)
+	}
+	return common{id: id, cwPort: cwPort}, nil
+}

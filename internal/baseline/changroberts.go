@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// ChangRoberts is the Chang–Roberts extrema-finding algorithm (1979): each
+// node launches its ID clockwise; a node forwards tokens larger than its
+// own ID, swallows smaller ones, and declares itself leader when its own
+// ID returns. The leader then circulates an announcement that lets every
+// node decide and terminate.
+//
+// Because tokens cannot overtake one another on FIFO channels, every
+// non-maximal token dies before the maximal one completes its loop, so the
+// announcement is the last message on every channel and termination is
+// quiescent. Worst case n(n+1)/2 + n messages (IDs decreasing clockwise),
+// O(n log n) expected for random arrangements.
+type ChangRoberts struct {
+	common
+}
+
+// NewChangRoberts returns a Chang–Roberts machine.
+func NewChangRoberts(id uint64, cwPort pulse.Port) (*ChangRoberts, error) {
+	c, err := newCommon(id, cwPort)
+	if err != nil {
+		return nil, err
+	}
+	return &ChangRoberts{common: c}, nil
+}
+
+// Init implements node.Machine.
+func (cr *ChangRoberts) Init(e Emitter) {
+	cr.sendCW(e, Msg{Kind: KindToken, ID: cr.id})
+}
+
+// OnMsg implements node.Machine.
+func (cr *ChangRoberts) OnMsg(p pulse.Port, m Msg, e Emitter) {
+	if p == cr.cwPort {
+		cr.fault("baseline: ChangRoberts got %v on clockwise port", m.Kind)
+		return
+	}
+	switch m.Kind {
+	case KindToken:
+		switch {
+		case m.ID > cr.id:
+			cr.state = node.StateNonLeader
+			cr.sendCW(e, m)
+		case m.ID < cr.id:
+			// Swallow: this token can never win.
+		default:
+			// Own ID circumnavigated: elected.
+			cr.state = node.StateLeader
+			cr.leaderID = cr.id
+			cr.sendCW(e, Msg{Kind: KindAnnounce, ID: cr.id})
+		}
+	case KindAnnounce:
+		if m.ID == cr.id {
+			// Announcement returned to the leader: everyone has decided.
+			cr.decided = true
+			cr.term = true
+			return
+		}
+		cr.state = node.StateNonLeader
+		cr.leaderID = m.ID
+		cr.decided = true
+		cr.sendCW(e, m)
+		cr.term = true
+	default:
+		cr.fault("baseline: ChangRoberts got unexpected %v", m.Kind)
+	}
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import "fmt"
+
+// Compact integer codec for Msg, used to run the baselines over the
+// fully defective transport (defective.Adapter). The layout keeps small
+// protocol messages numerically small, because the transport's unary
+// chunks cost pulses proportional to digit count:
+//
+//	bit      0..1  Kind - 1   (4 kinds)
+//	bit         2  Flag
+//	bits     3..7  Phase      (< 32)
+//	bits    8..23  Hops       (< 65536)
+//	bits   24..63  ID         (< 2^40)
+
+const (
+	packKindBits  = 2
+	packFlagBits  = 1
+	packPhaseBits = 5
+	packHopsBits  = 16
+	packIDBits    = 40
+
+	packPhaseShift = packKindBits + packFlagBits
+	packHopsShift  = packPhaseShift + packPhaseBits
+	packIDShift    = packHopsShift + packHopsBits
+)
+
+// PackMsg encodes m for transport; it fails on fields exceeding the
+// layout (rings large enough to need them are far beyond simulation
+// scale).
+func PackMsg(m Msg) (uint64, error) {
+	switch {
+	case m.Kind < KindToken || m.Kind > KindAnnounce:
+		return 0, fmt.Errorf("baseline: unpackable kind %d", m.Kind)
+	case m.Phase >= 1<<packPhaseBits:
+		return 0, fmt.Errorf("baseline: phase %d exceeds %d bits", m.Phase, packPhaseBits)
+	case m.Hops >= 1<<packHopsBits:
+		return 0, fmt.Errorf("baseline: hops %d exceeds %d bits", m.Hops, packHopsBits)
+	case m.ID >= 1<<packIDBits:
+		return 0, fmt.Errorf("baseline: ID %d exceeds %d bits", m.ID, packIDBits)
+	}
+	v := uint64(m.Kind - KindToken)
+	if m.Flag {
+		v |= 1 << packKindBits
+	}
+	v |= uint64(m.Phase)<<packPhaseShift |
+		uint64(m.Hops)<<packHopsShift |
+		m.ID<<packIDShift
+	return v, nil
+}
+
+// MustPackMsg is PackMsg for callers with statically valid messages.
+func MustPackMsg(m Msg) uint64 {
+	v, err := PackMsg(m)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// UnpackMsg inverts PackMsg.
+func UnpackMsg(v uint64) (Msg, error) {
+	m := Msg{
+		Kind:  Kind(v&(1<<packKindBits-1)) + KindToken,
+		Flag:  v>>packKindBits&1 == 1,
+		Phase: uint8(v >> packPhaseShift & (1<<packPhaseBits - 1)),
+		Hops:  uint32(v >> packHopsShift & (1<<packHopsBits - 1)),
+		ID:    v >> packIDShift,
+	}
+	return m, nil
+}

@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Franklin is Franklin's bidirectional O(n log n) election (1982). In each
+// phase an active node sends its ID both ways; probes are consumed by the
+// nearest active node in each direction (passive nodes relay). An active
+// node survives the phase iff its ID exceeds both received IDs; receiving
+// its own ID means its probes circled the whole ring — it is the last
+// active node and becomes leader, announcing clockwise.
+//
+// Asynchrony is handled by phase tags and per-side FIFO buffers: the
+// stream of probes arriving on one side has strictly increasing phases
+// (each consecutive pair of active nodes exchanges exactly one probe per
+// phase), so an active node pairs the head probes of its two sides, which
+// always carry its current phase. A node buffers probes that run ahead of
+// it and flushes its buffers downstream when it turns passive.
+type Franklin struct {
+	common
+	active bool
+	phase  uint8
+	buf    [2][]Msg // pending probes per receiving port
+}
+
+// NewFranklin returns a Franklin machine.
+func NewFranklin(id uint64, cwPort pulse.Port) (*Franklin, error) {
+	c, err := newCommon(id, cwPort)
+	if err != nil {
+		return nil, err
+	}
+	return &Franklin{common: c, active: true}, nil
+}
+
+func (fr *Franklin) probeBoth(e Emitter) {
+	m := Msg{Kind: KindProbe, ID: fr.id, Phase: fr.phase}
+	fr.sendCW(e, m)
+	fr.sendCCW(e, m)
+}
+
+// Init implements node.Machine.
+func (fr *Franklin) Init(e Emitter) { fr.probeBoth(e) }
+
+// OnMsg implements node.Machine.
+func (fr *Franklin) OnMsg(p pulse.Port, m Msg, e Emitter) {
+	switch m.Kind {
+	case KindProbe:
+		if !fr.active {
+			e.Send(p.Opposite(), m) // relay onward in its travel direction
+			return
+		}
+		fr.buf[p] = append(fr.buf[p], m)
+		fr.pairAndDecide(e)
+	case KindAnnounce:
+		if m.ID == fr.id {
+			fr.term = true // announcement absorbed by the leader
+			return
+		}
+		fr.state = node.StateNonLeader
+		fr.leaderID = m.ID
+		fr.decided = true
+		fr.sendCW(e, m)
+		fr.term = true
+	default:
+		fr.fault("baseline: Franklin got unexpected %v", m.Kind)
+	}
+}
+
+// pairAndDecide consumes matched probe pairs while both sides have one.
+func (fr *Franklin) pairAndDecide(e Emitter) {
+	for fr.active && len(fr.buf[0]) > 0 && len(fr.buf[1]) > 0 {
+		a, b := fr.buf[0][0], fr.buf[1][0]
+		fr.buf[0] = fr.buf[0][1:]
+		fr.buf[1] = fr.buf[1][1:]
+		if a.Phase != fr.phase || b.Phase != fr.phase {
+			fr.fault("baseline: Franklin phase mismatch: have %d, probes %d/%d",
+				fr.phase, a.Phase, b.Phase)
+			return
+		}
+		if a.ID == fr.id || b.ID == fr.id {
+			// Own probe circled the ring: sole survivor.
+			fr.active = false
+			fr.state = node.StateLeader
+			fr.leaderID = fr.id
+			fr.decided = true
+			fr.sendCW(e, Msg{Kind: KindAnnounce, ID: fr.id})
+			return
+		}
+		if fr.id > a.ID && fr.id > b.ID {
+			fr.phase++
+			fr.probeBoth(e)
+			continue
+		}
+		// Defeated: flush run-ahead probes downstream, then relay forever.
+		fr.active = false
+		fr.state = node.StateNonLeader
+		for _, port := range []pulse.Port{pulse.Port0, pulse.Port1} {
+			for _, pending := range fr.buf[port] {
+				e.Send(port.Opposite(), pending)
+			}
+			fr.buf[port] = nil
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// HirschbergSinclair is the bidirectional O(n log n) algorithm (1980). An
+// active node in phase k probes 2^k hops in both directions; nodes with
+// smaller IDs relay the probe (and are thereby defeated), nodes with larger
+// IDs swallow it. A probe that exhausts its hop budget is answered by a
+// reply relayed back to the originator; an originator that collects replies
+// from both directions survives into phase k+1. A probe that returns to its
+// originator has circumnavigated the ring: the originator is the maximum
+// and announces clockwise.
+//
+// The algorithm stabilizes (decides and goes quiescent) rather than
+// terminating: replies for already-defeated originators may still be in
+// flight when the announcement passes, so nodes cannot stop polling —
+// mirroring the quiescence-versus-termination distinction the paper draws
+// for its own non-oriented algorithm.
+type HirschbergSinclair struct {
+	common
+	active    bool
+	phase     uint8
+	replies   [2]bool // indexed by the port the reply arrived on
+	announced bool
+}
+
+// NewHirschbergSinclair returns a Hirschberg–Sinclair machine.
+func NewHirschbergSinclair(id uint64, cwPort pulse.Port) (*HirschbergSinclair, error) {
+	c, err := newCommon(id, cwPort)
+	if err != nil {
+		return nil, err
+	}
+	return &HirschbergSinclair{common: c, active: true}, nil
+}
+
+func (hs *HirschbergSinclair) probeBoth(e Emitter) {
+	m := Msg{Kind: KindProbe, ID: hs.id, Phase: hs.phase, Hops: 1}
+	hs.sendCW(e, m)
+	hs.sendCCW(e, m)
+}
+
+// Init implements node.Machine.
+func (hs *HirschbergSinclair) Init(e Emitter) {
+	hs.probeBoth(e)
+}
+
+// OnMsg implements node.Machine.
+func (hs *HirschbergSinclair) OnMsg(p pulse.Port, m Msg, e Emitter) {
+	forwardOut := p.Opposite() // continue in the direction of travel
+	switch m.Kind {
+	case KindProbe:
+		switch {
+		case m.ID == hs.id:
+			// Circumnavigation: this node holds the maximum ID.
+			if !hs.announced {
+				hs.announced = true
+				hs.state = node.StateLeader
+				hs.leaderID = hs.id
+				hs.decided = true
+				hs.sendCW(e, Msg{Kind: KindAnnounce, ID: hs.id})
+			}
+		case m.ID < hs.id:
+			// Swallow: the probe's originator cannot win.
+		default:
+			// Relaying a stronger probe defeats this node.
+			hs.active = false
+			if hs.state == node.StateUndecided {
+				hs.state = node.StateNonLeader
+			}
+			if m.Hops < uint32(1)<<m.Phase {
+				e.Send(forwardOut, Msg{Kind: KindProbe, ID: m.ID, Phase: m.Phase, Hops: m.Hops + 1})
+			} else {
+				// Budget exhausted: answer back the way it came.
+				e.Send(p, Msg{Kind: KindReply, ID: m.ID, Phase: m.Phase})
+			}
+		}
+	case KindReply:
+		if m.ID != hs.id {
+			e.Send(forwardOut, m)
+			return
+		}
+		if !hs.active || m.Phase != hs.phase {
+			return // stale reply for a phase already resolved
+		}
+		hs.replies[p] = true
+		if hs.replies[0] && hs.replies[1] {
+			hs.replies[0], hs.replies[1] = false, false
+			hs.phase++
+			hs.probeBoth(e)
+		}
+	case KindAnnounce:
+		if m.ID == hs.id {
+			return // announcement absorbed by the leader
+		}
+		hs.state = node.StateNonLeader
+		hs.leaderID = m.ID
+		hs.decided = true
+		hs.sendCW(e, m)
+	default:
+		hs.fault("baseline: HirschbergSinclair got unexpected %v", m.Kind)
+	}
+}

@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// ItaiRodeh is the randomized election of Itai and Rodeh (1990) for
+// ANONYMOUS rings whose size n is known to every node — the precise
+// knowledge regime the paper contrasts its Theorem 3 against: with n
+// known, a terminating anonymous election exists; without it, Itai and
+// Rodeh's own impossibility result forbids termination, which is why the
+// paper's anonymous algorithm only reaches quiescence.
+//
+// Each phase, every remaining candidate draws a random ID from [1, n] and
+// circulates a token (phase, id, hops, unique). Tokens are compared
+// lexicographically by (phase, id): a candidate yields (turns relay) to a
+// strictly greater token, marks an equal token as not-unique, and discards
+// a smaller one. A candidate whose own token returns (hops = n) with the
+// unique bit intact is the sole maximum of the final phase and becomes
+// leader; with the bit cleared, the tied maxima re-draw in the next phase.
+// FIFO channels make the asynchronous interleaving of phases safe. The
+// leader's announcement travels exactly n hops, deciding and quiescently
+// terminating every node (tokens in flight cannot be overtaken by the
+// announcement, so they are all absorbed first).
+type ItaiRodeh struct {
+	common
+	n   int
+	rng *rand.Rand
+
+	candidate   bool
+	outstanding bool // this node's token for the current phase is in flight
+	phase       uint8
+	myID        uint64
+	phases      int // completed re-draws, exposed for experiments
+}
+
+// NewItaiRodeh returns an Itai–Rodeh machine for an anonymous ring of
+// known size n. The machine is anonymous: the rng is its only distinction
+// (its "own source of randomness"); the common ID field is unused for
+// election and set to a placeholder.
+func NewItaiRodeh(n int, cwPort pulse.Port, rng *rand.Rand) (*ItaiRodeh, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: ring size %d < 1", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("baseline: nil rng")
+	}
+	c, err := newCommon(1, cwPort) // placeholder identity; never compared
+	if err != nil {
+		return nil, err
+	}
+	return &ItaiRodeh{common: c, n: n, rng: rng, candidate: true}, nil
+}
+
+// Phases returns how many extra draw rounds this node went through.
+func (ir *ItaiRodeh) Phases() int { return ir.phases }
+
+func (ir *ItaiRodeh) draw(e Emitter) {
+	ir.myID = 1 + uint64(ir.rng.Intn(ir.n))
+	ir.outstanding = true
+	ir.sendCW(e, Msg{Kind: KindToken, ID: ir.myID, Phase: ir.phase, Hops: 1, Flag: true})
+}
+
+// Init implements node.Machine: phase 0 draw.
+func (ir *ItaiRodeh) Init(e Emitter) { ir.draw(e) }
+
+// beats reports whether token (p1, id1) lexicographically exceeds
+// (p2, id2).
+func beats(p1 uint8, id1 uint64, p2 uint8, id2 uint64) bool {
+	return p1 > p2 || (p1 == p2 && id1 > id2)
+}
+
+// OnMsg implements node.Machine.
+func (ir *ItaiRodeh) OnMsg(p pulse.Port, m Msg, e Emitter) {
+	if p == ir.cwPort {
+		ir.fault("baseline: ItaiRodeh got %v on clockwise port", m.Kind)
+		return
+	}
+	switch m.Kind {
+	case KindToken:
+		ir.onToken(m, e)
+	case KindAnnounce:
+		if m.Hops >= uint32(ir.n) {
+			// Our announcement (or, at n-hop distance, the leader's own):
+			// absorbed; everyone has decided.
+			ir.decided = true
+			ir.term = true
+			return
+		}
+		ir.state = node.StateNonLeader
+		ir.decided = true
+		ir.sendCW(e, Msg{Kind: KindAnnounce, Hops: m.Hops + 1})
+		ir.term = true
+	default:
+		ir.fault("baseline: ItaiRodeh got unexpected %v", m.Kind)
+	}
+}
+
+func (ir *ItaiRodeh) onToken(m Msg, e Emitter) {
+	// A token reaches hop count n exactly at its origin (it visits every
+	// other node at hops < n, and FIFO prevents overtaking). Every origin
+	// — candidate or not — absorbs its own returning token; otherwise a
+	// passive origin's token would circle past n hops and be misread as
+	// someone else's return.
+	if m.Hops >= uint32(ir.n) {
+		if !ir.outstanding || m.Hops > uint32(ir.n) {
+			ir.fault("baseline: ItaiRodeh token with hops=%d at node with outstanding=%t",
+				m.Hops, ir.outstanding)
+			return
+		}
+		ir.outstanding = false
+		if !ir.candidate {
+			return // old token of a now-passive node: absorbed silently
+		}
+		if m.Flag {
+			// Unchallenged full loop: sole maximum of this phase.
+			ir.state = node.StateLeader
+			ir.decided = true
+			ir.candidate = false
+			ir.sendCW(e, Msg{Kind: KindAnnounce, Hops: 1})
+			return
+		}
+		// Tied maximum: re-draw.
+		ir.phase++
+		ir.phases++
+		ir.draw(e)
+		return
+	}
+	if !ir.candidate {
+		ir.sendCW(e, Msg{Kind: m.Kind, ID: m.ID, Phase: m.Phase, Hops: m.Hops + 1, Flag: m.Flag})
+		return
+	}
+	switch {
+	case beats(m.Phase, m.ID, ir.phase, ir.myID):
+		ir.candidate = false
+		ir.state = node.StateNonLeader
+		ir.sendCW(e, Msg{Kind: m.Kind, ID: m.ID, Phase: m.Phase, Hops: m.Hops + 1, Flag: m.Flag})
+	case m.Phase == ir.phase && m.ID == ir.myID:
+		ir.sendCW(e, Msg{Kind: m.Kind, ID: m.ID, Phase: m.Phase, Hops: m.Hops + 1, Flag: false})
+	default:
+		// Strictly smaller token: discard.
+	}
+}
+
+// ItaiRodehMachines builds an anonymous ring of Itai–Rodeh machines with
+// private rngs seeded from seed.
+func ItaiRodehMachines(n int, cwPorts []pulse.Port, seed int64) ([]Machine, error) {
+	if len(cwPorts) != n {
+		return nil, fmt.Errorf("baseline: %d ports for %d nodes", len(cwPorts), n)
+	}
+	ms := make([]Machine, n)
+	for k := 0; k < n; k++ {
+		m, err := NewItaiRodeh(n, cwPorts[k], rand.New(rand.NewSource(seed+int64(k))))
+		if err != nil {
+			return nil, err
+		}
+		ms[k] = m
+	}
+	return ms, nil
+}

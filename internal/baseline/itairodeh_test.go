@@ -1,0 +1,151 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"coleader/internal/baseline"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+func runItaiRodeh(t *testing.T, n int, seed int64, sched sim.Scheduler) (sim.Result, []*baseline.ItaiRodeh) {
+	t.Helper()
+	topo, err := ring.Oriented(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := make([]pulse.Port, n)
+	for k := range ports {
+		ports[k] = topo.CWPort(k)
+	}
+	ms, err := baseline.ItaiRodehMachines(n, ports, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(topo, ms, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1 << 22)
+	if err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	irs := make([]*baseline.ItaiRodeh, n)
+	for k := 0; k < n; k++ {
+		irs[k] = s.Machine(k).(*baseline.ItaiRodeh)
+	}
+	return res, irs
+}
+
+// TestItaiRodehElectsExactlyOne: the anonymous randomized election with
+// known n always terminates with exactly one leader — the termination the
+// paper's Theorem 3 cannot have without knowing n.
+func TestItaiRodehElectsExactlyOne(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for seed := int64(0); seed < 15; seed++ {
+			res, _ := runItaiRodeh(t, n, seed*1000, sim.NewRandom(seed))
+			if len(res.Leaders) != 1 {
+				t.Fatalf("n=%d seed=%d: %d leaders", n, seed, len(res.Leaders))
+			}
+			if !res.AllTerminated || !res.Quiescent {
+				t.Fatalf("n=%d seed=%d: terminated=%t quiescent=%t",
+					n, seed, res.AllTerminated, res.Quiescent)
+			}
+		}
+	}
+}
+
+// TestItaiRodehAllSchedulers: correctness is schedule-independent.
+func TestItaiRodehAllSchedulers(t *testing.T) {
+	for name, sched := range sim.Stock(5) {
+		res, _ := runItaiRodeh(t, 6, 42, sched)
+		if len(res.Leaders) != 1 || !res.AllTerminated {
+			t.Errorf("%s: leaders=%v terminated=%t", name, res.Leaders, res.AllTerminated)
+		}
+	}
+}
+
+// TestItaiRodehEveryoneDecides: every node ends decided with a consistent
+// view.
+func TestItaiRodehEveryoneDecides(t *testing.T) {
+	res, irs := runItaiRodeh(t, 7, 99, sim.NewRandom(7))
+	leaders := 0
+	for k, ir := range irs {
+		st := ir.Status()
+		if st.State == node.StateUndecided {
+			t.Errorf("node %d undecided", k)
+		}
+		if st.State == node.StateLeader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders", leaders)
+	}
+	_ = res
+}
+
+// TestItaiRodehMessageBound: expected message complexity is O(n log n) per
+// phase round with O(1) expected phases; assert a generous empirical
+// envelope across seeds.
+func TestItaiRodehMessageBound(t *testing.T) {
+	const n = 16
+	var worst uint64
+	for seed := int64(0); seed < 20; seed++ {
+		res, irs := runItaiRodeh(t, n, seed*77, sim.NewRandom(seed))
+		if res.Sent > worst {
+			worst = res.Sent
+		}
+		for _, ir := range irs {
+			if ir.Phases() > 10 {
+				t.Errorf("seed %d: %d re-draw phases (suspicious)", seed, ir.Phases())
+			}
+		}
+	}
+	// Each phase costs at most n^2 + n; more than 8 full phases in the
+	// worst of 20 seeds would be extraordinary.
+	if bound := uint64(8 * (n*n + n)); worst > bound {
+		t.Errorf("worst-case messages %d > envelope %d", worst, bound)
+	}
+}
+
+// TestItaiRodehValidation covers the constructors.
+func TestItaiRodehValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := baseline.NewItaiRodeh(0, pulse.Port1, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := baseline.NewItaiRodeh(3, pulse.Port1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := baseline.NewItaiRodeh(3, pulse.Port(9), rng); err == nil {
+		t.Error("bad port accepted")
+	}
+	if _, err := baseline.ItaiRodehMachines(3, nil, 1); err == nil {
+		t.Error("mismatched ports accepted")
+	}
+}
+
+// TestPackMsgFlag: the codec round-trips the Flag bit Itai–Rodeh uses.
+func TestPackMsgFlag(t *testing.T) {
+	for _, m := range []baseline.Msg{
+		{Kind: baseline.KindToken, ID: 5, Phase: 3, Hops: 7, Flag: true},
+		{Kind: baseline.KindToken, ID: 5, Phase: 3, Hops: 7, Flag: false},
+		{Kind: baseline.KindAnnounce, ID: 1, Hops: 1, Flag: true},
+	} {
+		v, err := baseline.PackMsg(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := baseline.UnpackMsg(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Errorf("roundtrip %+v -> %+v", m, got)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// LeLann is Le Lann's 1977 algorithm: every node circulates a token
+// carrying its ID clockwise; every node forwards every foreign token and
+// absorbs its own. Per-channel FIFO and the init-before-forward discipline
+// guarantee that by the time a node's own token returns it has seen every
+// other ID, so it decides locally: Leader iff its ID is the maximum seen.
+//
+// Exactly n^2 messages (n tokens, n hops each), quiescent termination.
+type LeLann struct {
+	common
+	maxSeen uint64
+}
+
+// NewLeLann returns a Le Lann machine.
+func NewLeLann(id uint64, cwPort pulse.Port) (*LeLann, error) {
+	c, err := newCommon(id, cwPort)
+	if err != nil {
+		return nil, err
+	}
+	return &LeLann{common: c}, nil
+}
+
+// Init implements node.Machine.
+func (l *LeLann) Init(e Emitter) {
+	l.maxSeen = l.id
+	l.sendCW(e, Msg{Kind: KindToken, ID: l.id})
+}
+
+// OnMsg implements node.Machine.
+func (l *LeLann) OnMsg(p pulse.Port, m Msg, e Emitter) {
+	if p == l.cwPort || m.Kind != KindToken {
+		l.fault("baseline: LeLann got %v on %v", m.Kind, p)
+		return
+	}
+	if m.ID == l.id {
+		// Own token back: every other token has passed through already.
+		l.leaderID = l.maxSeen
+		if l.maxSeen == l.id {
+			l.state = node.StateLeader
+		} else {
+			l.state = node.StateNonLeader
+		}
+		l.decided = true
+		l.term = true
+		return
+	}
+	if m.ID > l.maxSeen {
+		l.maxSeen = m.ID
+	}
+	l.sendCW(e, m)
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// Algorithm names a baseline for table-driven experiments and CLIs.
+type Algorithm string
+
+// The implemented baselines.
+const (
+	AlgLeLann             Algorithm = "lelann"
+	AlgChangRoberts       Algorithm = "chang-roberts"
+	AlgHirschbergSinclair Algorithm = "hirschberg-sinclair"
+	AlgPeterson           Algorithm = "peterson"
+	AlgFranklin           Algorithm = "franklin"
+)
+
+// Algorithms lists every baseline in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgLeLann, AlgChangRoberts, AlgHirschbergSinclair, AlgPeterson, AlgFranklin}
+}
+
+// New constructs a single machine of the named baseline.
+func New(a Algorithm, id uint64, cw pulse.Port) (Machine, error) {
+	switch a {
+	case AlgLeLann:
+		return NewLeLann(id, cw)
+	case AlgChangRoberts:
+		return NewChangRoberts(id, cw)
+	case AlgHirschbergSinclair:
+		return NewHirschbergSinclair(id, cw)
+	case AlgPeterson:
+		return NewPeterson(id, cw)
+	case AlgFranklin:
+		return NewFranklin(id, cw)
+	default:
+		return nil, fmt.Errorf("baseline: unknown algorithm %q", a)
+	}
+}
+
+// Machines builds a whole ring of machines of the named baseline. The
+// baselines assume unique IDs and an oriented ring (the topology supplies
+// each node's clockwise port).
+func Machines(a Algorithm, t ring.Topology, ids []uint64) ([]Machine, error) {
+	if len(ids) != t.N() {
+		return nil, fmt.Errorf("baseline: %d IDs for %d nodes", len(ids), t.N())
+	}
+	if err := ring.CheckDistinct(ids); err != nil {
+		return nil, err
+	}
+	ms := make([]Machine, t.N())
+	for k := range ms {
+		m, err := New(a, ids[k], t.CWPort(k))
+		if err != nil {
+			return nil, fmt.Errorf("baseline: node %d: %w", k, err)
+		}
+		ms[k] = m
+	}
+	return ms, nil
+}
+
+// Run executes the named baseline to quiescence under sched and returns
+// the simulation result.
+func Run(a Algorithm, t ring.Topology, ids []uint64, sched sim.Scheduler, limit uint64) (sim.Result, error) {
+	ms, err := Machines(a, t, ids)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s, err := sim.New(t, ms, sched)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(limit)
+}

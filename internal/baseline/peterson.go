@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Peterson is Peterson's unidirectional O(n log n) algorithm (1982), in the
+// Dolev–Klawe–Rodeh style. Active nodes carry a temporary ID. In each
+// phase an active node sends its temporary ID, learns the temporary ID d1
+// of its nearest active counterclockwise neighbor, relays max(tid, d1), and
+// learns d2, the one beyond. It survives the phase holding d1 iff d1 is a
+// local maximum (d1 > tid and d1 > d2); otherwise it becomes a relay. Each
+// phase at least halves the active nodes. An active node that receives its
+// own temporary ID back is the last one standing and announces clockwise.
+//
+// After declaring, the leader absorbs any stray tokens, so the network
+// quiesces; non-leaders decide upon the announcement. Message complexity
+// is at most 2n per phase plus n for the announcement: <= 2n·ceil(log n)+n
+// in total.
+type Peterson struct {
+	common
+	active bool
+	tid    uint64
+	haveD1 bool
+	d1     uint64
+	won    bool
+}
+
+// NewPeterson returns a Peterson machine.
+func NewPeterson(id uint64, cwPort pulse.Port) (*Peterson, error) {
+	c, err := newCommon(id, cwPort)
+	if err != nil {
+		return nil, err
+	}
+	return &Peterson{common: c, active: true}, nil
+}
+
+// Init implements node.Machine.
+func (pt *Peterson) Init(e Emitter) {
+	pt.tid = pt.id
+	pt.sendCW(e, Msg{Kind: KindToken, ID: pt.tid})
+}
+
+// OnMsg implements node.Machine.
+func (pt *Peterson) OnMsg(p pulse.Port, m Msg, e Emitter) {
+	if p == pt.cwPort {
+		pt.fault("baseline: Peterson got %v on clockwise port", m.Kind)
+		return
+	}
+	switch m.Kind {
+	case KindToken:
+		switch {
+		case pt.won:
+			// The declared leader drains leftover tokens.
+		case !pt.active:
+			pt.sendCW(e, m)
+		case !pt.haveD1:
+			pt.d1, pt.haveD1 = m.ID, true
+			if pt.d1 == pt.tid {
+				pt.declare(e)
+				return
+			}
+			d := pt.tid
+			if pt.d1 > d {
+				d = pt.d1
+			}
+			pt.sendCW(e, Msg{Kind: KindToken, ID: d})
+		default:
+			d2 := m.ID
+			pt.haveD1 = false
+			// Survive iff d1 is a local maximum. The second comparison must
+			// be >=, not >: the second token carries max(tid, d1) of the
+			// counterclockwise active, so d2 can equal d1 (e.g. on a 2-node
+			// ring both directions deliver the same maximum) and a strict
+			// comparison would eliminate every active node.
+			if pt.d1 > pt.tid && pt.d1 >= d2 {
+				// Survive the phase carrying the local maximum.
+				pt.tid = pt.d1
+				pt.sendCW(e, Msg{Kind: KindToken, ID: pt.tid})
+			} else {
+				pt.active = false
+				if pt.state == node.StateUndecided {
+					pt.state = node.StateNonLeader
+				}
+			}
+		}
+	case KindAnnounce:
+		if pt.won {
+			// The detector absorbs its announcement after the full circle.
+			pt.term = true
+			return
+		}
+		pt.leaderID = m.ID
+		if m.ID == pt.id {
+			pt.state = node.StateLeader
+		} else {
+			pt.state = node.StateNonLeader
+		}
+		pt.decided = true
+		pt.sendCW(e, m)
+		pt.term = true
+	default:
+		pt.fault("baseline: Peterson got unexpected %v", m.Kind)
+	}
+}
+
+// declare runs at the node where the maximal temporary ID finally resides —
+// which is generally NOT the node that owns that ID: temporary IDs migrate
+// one active hop per phase. The announcement therefore carries the winning
+// (maximal) original ID, and the node whose real ID matches it declares
+// itself leader as the announcement passes.
+func (pt *Peterson) declare(e Emitter) {
+	pt.won = true
+	pt.leaderID = pt.tid
+	if pt.tid == pt.id {
+		pt.state = node.StateLeader
+	} else {
+		pt.state = node.StateNonLeader
+	}
+	pt.decided = true
+	pt.sendCW(e, Msg{Kind: KindAnnounce, ID: pt.tid})
+}

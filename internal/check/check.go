@@ -1,0 +1,331 @@
+// Package check exhaustively explores every asynchronous schedule of a
+// pulse algorithm on a small ring: all interleavings of node wake-ups and
+// pulse deliveries. Because content-oblivious executions are fully
+// determined by the delivery order — and pulses within one channel are
+// indistinguishable — the explored graph covers the entire behavior of the
+// model of Section 2, turning claims like "Theorem 1 holds under every
+// schedule" into machine-checked facts for small instances.
+//
+// The state space is pruned by memoizing canonical state encodings
+// (node.Cloneable.StateKey plus per-channel queue depths), which keeps the
+// exploration polynomial in ID_max for the paper's algorithms even though
+// the raw schedule tree is exponential.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// Final summarizes a terminal (choice-free) state handed to the Check
+// callback.
+type Final struct {
+	// Statuses holds each node's final status.
+	Statuses []node.Status
+	// Leaders lists the nodes in the Leader state.
+	Leaders []int
+	// Sent is the total number of pulses sent along this execution.
+	Sent uint64
+	// Quiescent reports whether no pulse remained queued. Terminal states
+	// are quiescent unless the run stalled (which Exhaustive reports as an
+	// error before calling Check).
+	Quiescent bool
+}
+
+// Config describes one exhaustive exploration.
+type Config struct {
+	// Topo is the (small) ring to explore.
+	Topo ring.Topology
+
+	// NewMachines returns fresh machines for the exploration's root state.
+	// Every machine must implement node.Cloneable.
+	NewMachines func() ([]node.PulseMachine, error)
+
+	// ExploreInits also branches over node wake-up interleavings. When
+	// false, all nodes are initialized upfront in index order and only
+	// delivery orders are explored.
+	ExploreInits bool
+
+	// MaxStates caps the number of distinct states visited; exceeding it
+	// is an error. Zero means 1 << 22.
+	MaxStates int
+
+	// Check is invoked at every distinct terminal state; returning an
+	// error aborts the exploration with a witness schedule attached.
+	Check func(Final) error
+}
+
+// Report summarizes a completed exploration.
+type Report struct {
+	// StatesVisited counts distinct (memoized) states.
+	StatesVisited int
+	// TerminalStates counts distinct terminal states checked.
+	TerminalStates int
+	// MaxDepth is the longest schedule explored (events from the root).
+	MaxDepth int
+}
+
+// Exploration errors.
+var (
+	// ErrStateBudget: the exploration exceeded Config.MaxStates.
+	ErrStateBudget = errors.New("check: state budget exceeded")
+
+	// ErrStalled: some schedule reaches a non-quiescent state with no
+	// deliverable pulse.
+	ErrStalled = errors.New("check: stalled terminal state")
+
+	// ErrViolation: a machine fault or quiescent-termination violation.
+	ErrViolation = errors.New("check: protocol violation")
+)
+
+type explorer struct {
+	cfg     Config
+	n       int
+	visited map[string]struct{}
+	rep     Report
+	steps   []Step // schedule from the root to the current state
+}
+
+// Exhaustive explores every schedule and returns statistics, or the first
+// error found together with its witness schedule.
+func Exhaustive(cfg Config) (Report, error) {
+	if cfg.Topo.N() == 0 {
+		return Report{}, errors.New("check: empty topology")
+	}
+	if cfg.NewMachines == nil {
+		return Report{}, errors.New("check: nil NewMachines")
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 1 << 22
+	}
+	ex := &explorer{cfg: cfg, n: cfg.Topo.N(), visited: make(map[string]struct{})}
+
+	ms, err := cfg.NewMachines()
+	if err != nil {
+		return Report{}, err
+	}
+	if len(ms) != ex.n {
+		return Report{}, fmt.Errorf("check: %d machines for %d nodes", len(ms), ex.n)
+	}
+	st := &state{
+		ms:     make([]node.Cloneable[pulse.Pulse], ex.n),
+		queues: make([]uint32, 2*ex.n),
+		inited: make([]bool, ex.n),
+	}
+	for k, m := range ms {
+		c, ok := m.(node.Cloneable[pulse.Pulse])
+		if !ok {
+			return Report{}, fmt.Errorf("check: machine %d does not implement node.Cloneable", k)
+		}
+		st.ms[k] = c
+	}
+	if !cfg.ExploreInits {
+		// Record the implicit init prefix so witnesses are self-contained.
+		for k := 0; k < ex.n; k++ {
+			ex.steps = append(ex.steps, Step{Init: k, Chan: -1})
+			if err := st.initNode(ex.cfg.Topo, k); err != nil {
+				return ex.rep, ex.wrap(err)
+			}
+		}
+	}
+	err = ex.dfs(st, 0)
+	return ex.rep, err
+}
+
+// state is one global configuration: machine states plus per-channel queue
+// depths (pulses are indistinguishable, so depths suffice).
+type state struct {
+	ms     []node.Cloneable[pulse.Pulse]
+	queues []uint32 // channel id = 2*node + port
+	inited []bool
+	sent   uint64
+}
+
+func (st *state) clone() *state {
+	cp := &state{
+		ms:     make([]node.Cloneable[pulse.Pulse], len(st.ms)),
+		queues: append([]uint32(nil), st.queues...),
+		inited: append([]bool(nil), st.inited...),
+		sent:   st.sent,
+	}
+	for i, m := range st.ms {
+		cp.ms[i] = m.CloneMachine().(node.Cloneable[pulse.Pulse])
+	}
+	return cp
+}
+
+func (st *state) key() string {
+	var b strings.Builder
+	for _, m := range st.ms {
+		b.WriteString(m.StateKey())
+		b.WriteByte(';')
+	}
+	for _, q := range st.queues {
+		fmt.Fprintf(&b, "%d,", q)
+	}
+	for _, in := range st.inited {
+		if in {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// collector implements node.Emitter against the state's queues.
+type collector struct {
+	topo ring.Topology
+	st   *state
+	from int
+	err  error
+}
+
+func (c *collector) Send(p pulse.Port, _ pulse.Pulse) {
+	to := c.topo.Peer(c.from, p)
+	if st := c.st.ms[to.Node].Status(); st.Terminated {
+		c.err = fmt.Errorf("%w: node %d sent toward terminated node %d", ErrViolation, c.from, to.Node)
+		return
+	}
+	c.st.queues[2*to.Node+int(to.Port)]++
+	c.st.sent++
+}
+
+func (st *state) initNode(topo ring.Topology, k int) error {
+	st.inited[k] = true
+	col := &collector{topo: topo, st: st, from: k}
+	st.ms[k].Init(col)
+	if col.err != nil {
+		return col.err
+	}
+	return st.afterHandler(k)
+}
+
+func (st *state) deliver(topo ring.Topology, c int) error {
+	k, p := c/2, pulse.Port(c%2)
+	st.queues[c]--
+	col := &collector{topo: topo, st: st, from: k}
+	st.ms[k].OnMsg(p, pulse.Pulse{}, col)
+	if col.err != nil {
+		return col.err
+	}
+	return st.afterHandler(k)
+}
+
+func (st *state) afterHandler(k int) error {
+	s := st.ms[k].Status()
+	if s.Err != nil {
+		return fmt.Errorf("%w: node %d: %v", ErrViolation, k, s.Err)
+	}
+	if s.Terminated && st.queues[2*k]+st.queues[2*k+1] > 0 {
+		return fmt.Errorf("%w: node %d terminated with queued pulses", ErrViolation, k)
+	}
+	return nil
+}
+
+// choices enumerates the schedulable events of st.
+func (st *state) choices() (inits []int, delivers []int) {
+	for k, in := range st.inited {
+		if !in {
+			inits = append(inits, k)
+		}
+	}
+	for c, q := range st.queues {
+		if q == 0 {
+			continue
+		}
+		k := c / 2
+		if !st.inited[k] {
+			continue
+		}
+		s := st.ms[k].Status()
+		if s.Terminated || !st.ms[k].Ready(pulse.Port(c%2)) {
+			continue
+		}
+		delivers = append(delivers, c)
+	}
+	return inits, delivers
+}
+
+func (ex *explorer) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &WitnessError{Reason: err, Steps: append([]Step(nil), ex.steps...)}
+}
+
+func (ex *explorer) dfs(st *state, depth int) error {
+	if depth > ex.rep.MaxDepth {
+		ex.rep.MaxDepth = depth
+	}
+	key := st.key()
+	if _, seen := ex.visited[key]; seen {
+		return nil
+	}
+	if len(ex.visited) >= ex.cfg.MaxStates {
+		return ex.wrap(fmt.Errorf("%w (%d)", ErrStateBudget, ex.cfg.MaxStates))
+	}
+	ex.visited[key] = struct{}{}
+	ex.rep.StatesVisited++
+
+	inits, delivers := st.choices()
+	if len(inits) == 0 && len(delivers) == 0 {
+		ex.rep.TerminalStates++
+		var queued uint32
+		for _, q := range st.queues {
+			queued += q
+		}
+		if queued > 0 {
+			return ex.wrap(fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued))
+		}
+		if ex.cfg.Check != nil {
+			f := Final{Sent: st.sent, Quiescent: true}
+			for k, m := range st.ms {
+				s := m.Status()
+				f.Statuses = append(f.Statuses, s)
+				if s.State == node.StateLeader {
+					f.Leaders = append(f.Leaders, k)
+				}
+			}
+			if err := ex.cfg.Check(f); err != nil {
+				return ex.wrap(fmt.Errorf("%w: %v", ErrViolation, err))
+			}
+		}
+		return nil
+	}
+
+	for _, k := range inits {
+		next := st.clone()
+		ex.steps = append(ex.steps, Step{Init: k, Chan: -1})
+		err := next.initNode(ex.cfg.Topo, k)
+		if err == nil {
+			err = ex.dfs(next, depth+1)
+		} else {
+			err = ex.wrap(err)
+		}
+		ex.steps = ex.steps[:len(ex.steps)-1]
+		if err != nil {
+			return err
+		}
+	}
+	for _, c := range delivers {
+		next := st.clone()
+		ex.steps = append(ex.steps, Step{Init: -1, Chan: c})
+		err := next.deliver(ex.cfg.Topo, c)
+		if err == nil {
+			err = ex.dfs(next, depth+1)
+		} else {
+			err = ex.wrap(err)
+		}
+		ex.steps = ex.steps[:len(ex.steps)-1]
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

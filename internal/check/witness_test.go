@@ -1,0 +1,154 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"coleader/internal/check"
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/trace"
+)
+
+// unguardedConfig builds the guard-ablated Algorithm 2 exploration, which
+// is known (TestAblation... in internal/core) to contain violating
+// schedules.
+func unguardedConfig(t *testing.T, ids []uint64) check.Config {
+	t.Helper()
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return check.Config{
+		Topo: topo,
+		NewMachines: func() ([]node.PulseMachine, error) {
+			ms := make([]node.PulseMachine, len(ids))
+			for k := range ms {
+				m, err := core.NewAlg2Unguarded(ids[k], topo.CWPort(k))
+				if err != nil {
+					return nil, err
+				}
+				ms[k] = m
+			}
+			return ms, nil
+		},
+	}
+}
+
+// TestWitnessExtractAndReplay: the explorer's counterexample replays in
+// the full simulator and reproduces the same violation, with observers
+// (here a recorder) attached — the debugging loop the witness exists for.
+func TestWitnessExtractAndReplay(t *testing.T) {
+	cfg := unguardedConfig(t, []uint64{1, 3})
+	_, err := check.Exhaustive(cfg)
+	if err == nil {
+		t.Fatal("expected a violation from the unguarded ablation")
+	}
+	steps, ok := check.Witness(err)
+	if !ok {
+		t.Fatalf("no witness attached to %v", err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("empty witness")
+	}
+	// The witness must start with the implicit init prefix.
+	if steps[0].Init != 0 || steps[1].Init != 1 {
+		t.Errorf("witness does not start with init prefix: %v", steps[:2])
+	}
+
+	rec := &trace.Recorder{}
+	_, replayErr := check.Replay(cfg, steps, rec)
+	if replayErr == nil {
+		t.Fatal("replaying the violating schedule did not reproduce the violation")
+	}
+	if len(rec.Events) == 0 {
+		t.Error("recorder captured nothing during replay")
+	}
+	t.Logf("violation reproduced after %d events: %v", len(rec.Events), replayErr)
+}
+
+// TestReplayBenignPrefix: replaying a witness minus its final step runs
+// clean, pinning the violation to the last event.
+func TestReplayBenignPrefix(t *testing.T) {
+	cfg := unguardedConfig(t, []uint64{1, 3})
+	_, err := check.Exhaustive(cfg)
+	steps, ok := check.Witness(err)
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if _, err := check.Replay(cfg, steps[:len(steps)-1]); err != nil {
+		t.Fatalf("benign prefix failed: %v", err)
+	}
+}
+
+// TestReplayFullCleanRun: replaying a hand-built complete schedule of the
+// CORRECT algorithm reaches the usual verdict.
+func TestReplayFullCleanRun(t *testing.T) {
+	ids := []uint64{1, 2}
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := check.Config{
+		Topo: topo,
+		NewMachines: func() ([]node.PulseMachine, error) {
+			return core.Alg2Machines(topo, ids)
+		},
+	}
+	// Build a full schedule by running the simulator once under the
+	// canonical scheduler and transcribing its deliveries.
+	ms, err := cfg.NewMachines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []check.Step
+	for k := range ms {
+		steps = append(steps, check.Step{Init: k, Chan: -1})
+	}
+	obs := sim.ObserverFunc[pulse.Pulse](func(e *sim.Event, _ *sim.Sim[pulse.Pulse]) error {
+		if e.Kind == sim.EvDeliver {
+			steps = append(steps, check.Step{Init: -1, Chan: 2*e.Node + int(e.Port)})
+		}
+		return nil
+	})
+	s, err := sim.New(topo, ms, sim.Canonical{}, sim.WithObserver[pulse.Pulse](obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := check.Replay(cfg, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 1 || !res.Quiescent || !res.AllTerminated {
+		t.Errorf("replay result: leader=%d quiescent=%t terminated=%t",
+			res.Leader, res.Quiescent, res.AllTerminated)
+	}
+	if res.Sent != core.PredictedAlg2Pulses(2, 2) {
+		t.Errorf("replay sent %d pulses", res.Sent)
+	}
+}
+
+// TestStepString covers the step renderer.
+func TestStepString(t *testing.T) {
+	if got := (check.Step{Init: 2, Chan: -1}).String(); got != "init 2" {
+		t.Errorf("Step.String = %q", got)
+	}
+	got := (check.Step{Init: -1, Chan: 5}).String()
+	if !strings.Contains(got, "ch5") || !strings.Contains(got, "node 2") {
+		t.Errorf("Step.String = %q", got)
+	}
+}
+
+// TestWitnessOnPlainError: Witness on a non-witness error reports absence.
+func TestWitnessOnPlainError(t *testing.T) {
+	if _, ok := check.Witness(check.ErrStalled); ok {
+		t.Error("plain error yielded a witness")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SampleBitCount draws BitCount for Algorithm 4: a geometric variable with
+// parameter 1-p where p = 2^{-1/(c+2)} (line 1), i.e. Pr[BitCount >= k] =
+// p^k for k >= 0. Larger c makes long IDs likelier, driving the failure
+// probability of the anonymous election below n^{-Theta(c)} (Lemma 18).
+func SampleBitCount(rng *rand.Rand, c float64) int {
+	p := math.Exp2(-1 / (c + 2))
+	count := 0
+	for rng.Float64() < p {
+		count++
+	}
+	return count
+}
+
+// SampleID runs Algorithm 4 for one node: sample BitCount geometrically,
+// then a uniform BitCount-bit string (line 3). The bit string's integer
+// value is shifted by +1 so the result is a positive ID as the election
+// algorithms require; the shift is rank-preserving, so the w.h.p.
+// uniqueness of the maximum (Lemma 18) is unaffected.
+func SampleID(rng *rand.Rand, c float64) uint64 {
+	bits := SampleBitCount(rng, c)
+	if bits > 62 {
+		// Beyond any realistic network size; cap to keep arithmetic exact.
+		bits = 62
+	}
+	if bits == 0 {
+		return 1
+	}
+	return 1 + uint64(rng.Int63n(1<<uint(bits)))
+}
+
+// SampleIDs runs Algorithm 4 independently at every node of an anonymous
+// ring of size n, as the message-free pre-processing step of Theorem 3.
+func SampleIDs(rng *rand.Rand, n int, c float64) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = SampleID(rng, c)
+	}
+	return ids
+}
+
+// UniqueMax reports whether the maximum of ids is attained exactly once —
+// the event under which the anonymous election (Algorithm 4 followed by
+// Algorithm 3) elects a unique leader.
+func UniqueMax(ids []uint64) bool {
+	var max uint64
+	count := 0
+	for _, id := range ids {
+		switch {
+		case id > max:
+			max, count = id, 1
+		case id == max:
+			count++
+		}
+	}
+	return count == 1
+}

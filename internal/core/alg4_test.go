@@ -1,0 +1,234 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// TestSampleBitCountDistribution checks the geometric law of Algorithm 4
+// line 2: Pr[BitCount >= k] = p^k with p = 2^{-1/(c+2)}.
+func TestSampleBitCountDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const c, trials = 1.0, 200000
+	p := math.Exp2(-1 / (c + 2))
+	var atLeast [8]int
+	for i := 0; i < trials; i++ {
+		b := core.SampleBitCount(rng, c)
+		for k := 0; k < len(atLeast); k++ {
+			if b >= k {
+				atLeast[k]++
+			}
+		}
+	}
+	for k := 0; k < len(atLeast); k++ {
+		got := float64(atLeast[k]) / trials
+		want := math.Pow(p, float64(k))
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Pr[BitCount >= %d] = %.4f, want %.4f ± 0.01", k, got, want)
+		}
+	}
+}
+
+// TestSampleIDPositive checks IDs are always valid inputs for the election
+// algorithms.
+func TestSampleIDPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		if id := core.SampleID(rng, 2); id == 0 {
+			t.Fatal("sampled ID 0")
+		}
+	}
+}
+
+// TestSampleIDsUniqueMaxWHP checks Lemma 18 empirically: the maximum of n
+// sampled IDs is unique with probability -> 1, improving with c.
+func TestSampleIDsUniqueMaxWHP(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const trials = 2000
+	for _, tc := range []struct {
+		n       int
+		c       float64
+		minRate float64
+	}{
+		{8, 1, 0.80},
+		{8, 3, 0.90},
+		{64, 3, 0.90},
+		{256, 5, 0.92},
+	} {
+		ok := 0
+		for i := 0; i < trials; i++ {
+			if core.UniqueMax(core.SampleIDs(rng, tc.n, tc.c)) {
+				ok++
+			}
+		}
+		rate := float64(ok) / trials
+		if rate < tc.minRate {
+			t.Errorf("n=%d c=%v: unique-max rate %.3f < %.3f", tc.n, tc.c, rate, tc.minRate)
+		}
+	}
+}
+
+// TestSampleIDsMaxMagnitude checks the other half of Lemma 18: ID_max is
+// polynomial in n — large enough to break symmetry, small enough to keep
+// the election complexity n^{O(1)}.
+func TestSampleIDsMaxMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const c, trials = 2.0, 400
+	for _, n := range []int{16, 64, 256} {
+		exceeded := 0
+		var sumMax float64
+		// Envelope: ID_max <= n^{(c+2)^2} w.h.p. is far looser than the
+		// lemma's bound; we check a practical power.
+		bound := math.Pow(float64(n), (c+2)*(c+2))
+		for i := 0; i < trials; i++ {
+			m := float64(ring.MaxID(core.SampleIDs(rng, n, c)))
+			sumMax += m
+			if m > bound {
+				exceeded++
+			}
+		}
+		if rate := float64(exceeded) / trials; rate > 0.02 {
+			t.Errorf("n=%d: ID_max exceeded n^{(c+2)^2} in %.1f%% of trials", n, 100*rate)
+		}
+		// And it must actually grow with n: the mean max should comfortably
+		// exceed n^{1/2} (the lemma promises n^{Omega(c)} up to constants).
+		if mean := sumMax / trials; mean < math.Sqrt(float64(n)) {
+			t.Errorf("n=%d: mean ID_max %.1f suspiciously small", n, mean)
+		}
+	}
+}
+
+// TestAnonymousElection runs the full Theorem 3 pipeline: Algorithm 4
+// samples IDs, Algorithm 3 elects and orients. Success (a unique leader at
+// a unique maximum) must match the unique-max event exactly, and the
+// success rate must be high.
+func TestAnonymousElection(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	const n, c, trials = 12, 1.0, 40
+	// The geometric sampler has a heavy tail: rare trials draw an ID_max so
+	// large that simulating the Theta(n·ID_max) pulses is pointless for a
+	// unit test. Electing correctly given the IDs is independent of their
+	// magnitude, so skip (but count) oversized draws.
+	const pulseBudget = 2000000
+	wins, skipped := 0, 0
+	for i := 0; i < trials; i++ {
+		ids := core.SampleIDs(rng, n, c)
+		if core.PredictedAlg3Pulses(n, ring.MaxID(ids), core.SchemeSuccessor) > pulseBudget {
+			skipped++
+			continue
+		}
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := runAlg3(topo, ids, core.SchemeSuccessor, sim.NewRandom(int64(i)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		wantLeader, unique := ring.MaxIndex(ids)
+		if unique {
+			if res.Leader != wantLeader {
+				t.Errorf("trial %d: unique max at %d but leader = %d", i, wantLeader, res.Leader)
+			}
+			wins++
+		}
+		if !res.Quiescent {
+			t.Errorf("trial %d: not quiescent", i)
+		}
+	}
+	ran := trials - skipped
+	if ran < trials/2 {
+		t.Fatalf("skipped %d of %d trials; pulse budget too tight", skipped, trials)
+	}
+	if rate := float64(wins) / float64(ran); rate < 0.80 {
+		t.Errorf("anonymous election success rate %.2f < 0.80", rate)
+	}
+}
+
+// TestAlg3ResampleDistinctIDs checks Proposition 19: at quiescence all
+// node IDs are pairwise distinct (w.h.p.; we require a high empirical rate
+// and exact pulse counts every time).
+func TestAlg3ResampleDistinctIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	const trials = 60
+	distinct := 0
+	for i := 0; i < trials; i++ {
+		n := 3 + rng.Intn(8)
+		// Heavily colliding inputs: IDs from a tiny range plus a unique max.
+		// Every non-maximum node's final resample draws uniformly from
+		// [1, ID_max-1], so ID_max must comfortably exceed n^2 for the
+		// final IDs to be distinct with decent probability (in the paper's
+		// setting Algorithm 4 guarantees ID_max ~ poly(n) >> n).
+		const maxID = 2000
+		ids := make([]uint64, n)
+		for j := range ids {
+			ids[j] = 1 + uint64(rng.Intn(3))
+		}
+		ids[rng.Intn(n)] = maxID // unique maximum
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg3ResampleMachines(n, ids, core.SchemeSuccessor, int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(limitFor(core.PredictedAlg3Pulses(n, maxID, core.SchemeSuccessor)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if !res.Quiescent {
+			t.Fatalf("trial %d: not quiescent", i)
+		}
+		final := make([]uint64, n)
+		for k := 0; k < n; k++ {
+			final[k] = s.Machine(k).(*core.Alg3Resample).ID()
+		}
+		if ring.CheckDistinct(final) == nil {
+			distinct++
+		}
+		// The max-ID node must never resample (its trigger cannot fire).
+		maxIdx, _ := ring.MaxIndex(ids)
+		if got := s.Machine(maxIdx).(*core.Alg3Resample).ID(); got != maxID {
+			t.Errorf("trial %d: max node resampled to %d", i, got)
+		}
+	}
+	if rate := float64(distinct) / trials; rate < 0.8 {
+		t.Errorf("distinct-ID rate %.2f < 0.8", rate)
+	}
+}
+
+// TestComplexityFormulas pins the closed forms against hand-computed
+// values.
+func TestComplexityFormulas(t *testing.T) {
+	cases := []struct {
+		got, want uint64
+		name      string
+	}{
+		{core.PredictedAlg1Pulses(3, 5), 15, "alg1"},
+		{core.PredictedAlg2Pulses(3, 5), 33, "alg2"},
+		{core.PredictedAlg2Pulses(1, 1), 3, "alg2-min"},
+		{core.PredictedAlg3Pulses(3, 5, core.SchemeDoubled), 57, "alg3-doubled"},
+		{core.PredictedAlg3Pulses(3, 5, core.SchemeSuccessor), 33, "alg3-successor"},
+		{core.PredictedAlg3Pulses(3, 5, core.IDScheme(9)), 0, "alg3-bogus"},
+		{core.LowerBoundPulses(4, 64), 16, "lb-16x"},   // 4*floor(log2(16))
+		{core.LowerBoundPulses(4, 4), 0, "lb-equal"},   // log2(1) = 0
+		{core.LowerBoundPulses(1, 1024), 10, "lb-n=1"}, // floor(log2(1024))
+		{core.LowerBoundPulses(5, 3), 0, "lb-k<n"},
+		{core.LowerBoundPulses(3, 100), 15, "lb-floor"}, // 3*floor(log2(33.3))=3*5
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, tc.got, tc.want)
+		}
+	}
+}

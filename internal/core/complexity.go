@@ -1,0 +1,47 @@
+package core
+
+import "math/bits"
+
+// The paper's exact message-complexity formulas. The experiment harness and
+// the test suite assert that measured pulse counts equal these values on
+// every run, for every scheduler.
+
+// PredictedAlg1Pulses is the complexity of Algorithm 1 (Corollary 13):
+// every node sends and receives exactly ID_max clockwise pulses.
+func PredictedAlg1Pulses(n int, idMax uint64) uint64 {
+	return uint64(n) * idMax
+}
+
+// PredictedAlg2Pulses is Theorem 1's complexity n(2·ID_max + 1): ID_max
+// pulses per node in each direction plus the termination pulse's n hops.
+func PredictedAlg2Pulses(n int, idMax uint64) uint64 {
+	return uint64(n) * (2*idMax + 1)
+}
+
+// PredictedAlg3Pulses is the complexity of Algorithm 3 under the given
+// virtual-ID scheme: n(4·ID_max - 1) for the doubled IDs of Proposition 15
+// and n(2·ID_max + 1) for the successor IDs of Theorem 2.
+func PredictedAlg3Pulses(n int, idMax uint64, scheme IDScheme) uint64 {
+	switch scheme {
+	case SchemeDoubled:
+		return uint64(n) * (4*idMax - 1)
+	case SchemeSuccessor:
+		return uint64(n) * (2*idMax + 1)
+	default:
+		return 0
+	}
+}
+
+// LowerBoundPulses is Theorem 20's bound: with k assignable IDs, some
+// assignment forces any content-oblivious leader election to send at least
+// n·floor(log2(k/n)) pulses. Theorem 4 instantiates k = ID_max.
+func LowerBoundPulses(n int, k uint64) uint64 {
+	if n < 1 || k < uint64(n) {
+		return 0
+	}
+	ratio := k / uint64(n)
+	if ratio == 0 {
+		return 0
+	}
+	return uint64(n) * uint64(bits.Len64(ratio)-1)
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's contribution: the content-oblivious
+// leader-election algorithms of Frei, Gelles, Ghazy, and Nolin
+// ("Content-Oblivious Leader Election on Rings", DISC 2024).
+//
+//   - Alg1: the warm-up quiescently stabilizing election on oriented rings
+//     (Section 3.1, Algorithm 1).
+//   - Alg2: the quiescently terminating election on oriented rings
+//     (Section 3.2, Algorithm 2; Theorem 1).
+//   - Alg3: the quiescently stabilizing election-plus-orientation on
+//     non-oriented rings (Section 4, Algorithm 3), with both virtual-ID
+//     schemes: the doubled IDs of Proposition 15 and the successor IDs of
+//     Theorem 2.
+//   - SampleID: the message-free randomized ID sampler for anonymous rings
+//     (Section 5, Algorithm 4; Lemma 18), whose composition with Alg3
+//     yields Theorem 3.
+//   - Alg3Resample: the ID-resampling variant of Proposition 19 that
+//     leaves every node with a distinct ID at quiescence.
+//
+// All machines exchange only pulse.Pulse values, so content-obliviousness
+// is enforced by the type system. Each machine exposes its rho/sigma
+// counters so that internal/trace can check the paper's invariants
+// (Lemma 6 and friends) after every event.
+package core

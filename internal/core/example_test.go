@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"coleader/internal/core"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// The canonical use of the package: build machines for a ring, run them on
+// a simulator, read the outcome.
+func Example() {
+	ids := []uint64{4, 9, 2, 7}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		panic(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		panic(err)
+	}
+	s, err := sim.New(topo, ms, sim.Canonical{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Run(1 << 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leader: node %d; pulses: %d = n(2·ID_max+1)\n", res.Leader, res.Sent)
+	// Output: leader: node 1; pulses: 76 = n(2·ID_max+1)
+}
+
+// Algorithm 1 stabilizes without terminating; with duplicate maxima every
+// holder of the maximum ends up a leader (Lemma 16).
+func ExampleNewAlg1() {
+	ids := []uint64{3, 5, 1, 5}
+	topo, _ := ring.Oriented(len(ids))
+	ms, _ := core.Alg1Machines(topo, ids)
+	s, _ := sim.New(topo, ms, sim.Canonical{})
+	res, err := s.Run(1 << 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leaders: %v, terminated: %t, pulses: %d\n",
+		res.Leaders, res.AllTerminated, res.Sent)
+	// Output: leaders: [1 3], terminated: false, pulses: 20
+}
+
+// Algorithm 3 needs no orientation: it computes one, consistently, while
+// electing.
+func ExampleNewAlg3() {
+	ids := []uint64{2, 7, 4}
+	topo, _ := ring.NonOriented([]bool{true, false, true})
+	ms, _ := core.Alg3Machines(len(ids), ids, core.SchemeSuccessor)
+	s, _ := sim.New(topo, ms, sim.Canonical{})
+	res, err := s.Run(1 << 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("leader: node %d; every node oriented: %t\n",
+		res.Leader, res.Statuses[0].HasOrientation && res.Statuses[1].HasOrientation)
+	// Output: leader: node 1; every node oriented: true
+}
+
+// The exact complexity formulas of the theorems.
+func ExamplePredictedAlg2Pulses() {
+	fmt.Println(core.PredictedAlg2Pulses(8, 64)) // Theorem 1
+	fmt.Println(core.LowerBoundPulses(8, 64))    // Theorem 4
+	// Output:
+	// 1032
+	// 24
+}

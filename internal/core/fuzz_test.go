@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// FuzzAlg2Election fuzzes ring size, ID assignment, and schedule: every
+// input must satisfy Theorem 1 exactly. Run with `go test -fuzz
+// FuzzAlg2Election ./internal/core` for continuous exploration; the seed
+// corpus runs in normal test mode.
+func FuzzAlg2Election(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(0))
+	f.Add(int64(42), uint8(1), uint8(3))
+	f.Add(int64(-7), uint8(12), uint8(2))
+	f.Add(int64(1<<40), uint8(8), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, schedRaw uint8) {
+		n := 1 + int(nRaw%14)
+		rng := rand.New(rand.NewSource(seed))
+		var ids []uint64
+		if seed%2 == 0 {
+			ids = ring.PermutedIDs(n, rng)
+		} else {
+			var err error
+			ids, err = ring.SparseIDs(n, uint64(16*n), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		scheds := []sim.Scheduler{
+			sim.Canonical{}, sim.Newest{}, sim.NewRandom(seed), sim.NewRoundRobin(),
+			sim.NewFlaky(seed), sim.NewHashDelay(seed),
+		}
+		sched := scheds[int(schedRaw)%len(scheds)]
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg2Machines(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(topo, ms, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := core.PredictedAlg2Pulses(n, ring.MaxID(ids))
+		res, err := s.Run(4*pred + 1024)
+		if err != nil {
+			t.Fatalf("ids=%v: %v", ids, err)
+		}
+		wantLeader, _ := ring.MaxIndex(ids)
+		switch {
+		case res.Leader != wantLeader:
+			t.Fatalf("ids=%v: leader %d, want %d", ids, res.Leader, wantLeader)
+		case res.Sent != pred:
+			t.Fatalf("ids=%v: pulses %d, want %d", ids, res.Sent, pred)
+		case !res.Quiescent || !res.AllTerminated:
+			t.Fatalf("ids=%v: quiescent=%t terminated=%t", ids, res.Quiescent, res.AllTerminated)
+		case res.TerminationOrder[n-1] != wantLeader:
+			t.Fatalf("ids=%v: leader not last: %v", ids, res.TerminationOrder)
+		}
+	})
+}
+
+// FuzzAlg3Election fuzzes port assignments as well: Theorem 2 must hold
+// bit for bit on every wiring.
+func FuzzAlg3Election(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint16(0b101), false)
+	f.Add(int64(9), uint8(6), uint16(0b110011), true)
+	f.Add(int64(-3), uint8(1), uint16(1), false)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, flipBits uint16, doubled bool) {
+		n := 1 + int(nRaw%10)
+		rng := rand.New(rand.NewSource(seed))
+		ids := ring.PermutedIDs(n, rng)
+		flips := make([]bool, n)
+		for i := range flips {
+			flips[i] = flipBits&(1<<i) != 0
+		}
+		topo, err := ring.NonOriented(flips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheme := core.SchemeSuccessor
+		if doubled {
+			scheme = core.SchemeDoubled
+		}
+		ms, err := core.Alg3Machines(n, ids, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := core.PredictedAlg3Pulses(n, ring.MaxID(ids), scheme)
+		res, err := s.Run(4*pred + 1024)
+		if err != nil {
+			t.Fatalf("ids=%v flips=%v: %v", ids, flips, err)
+		}
+		wantLeader, _ := ring.MaxIndex(ids)
+		if res.Leader != wantLeader || res.Sent != pred || !res.Quiescent {
+			t.Fatalf("ids=%v flips=%v: leader=%d want=%d sent=%d pred=%d quiescent=%t",
+				ids, flips, res.Leader, wantLeader, res.Sent, pred, res.Quiescent)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/ring"
+)
+
+// Constructors that build a whole ring of machines from a topology and an
+// ID assignment. For the oriented-ring algorithms (1 and 2) each machine is
+// told which of its ports leads clockwise — exactly the information an
+// oriented ring provides; Algorithm 3's machines receive no such hint.
+
+// Alg1Machines builds one Algorithm 1 machine per node. The topology
+// supplies each node's clockwise port, so this models an oriented ring (or
+// a ring given a sense of direction) regardless of the port wiring.
+func Alg1Machines(t ring.Topology, ids []uint64) ([]node.PulseMachine, error) {
+	if len(ids) != t.N() {
+		return nil, fmt.Errorf("core: %d IDs for %d nodes", len(ids), t.N())
+	}
+	ms := make([]node.PulseMachine, t.N())
+	for k := range ms {
+		m, err := NewAlg1(ids[k], t.CWPort(k))
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", k, err)
+		}
+		ms[k] = m
+	}
+	return ms, nil
+}
+
+// Alg2Machines builds one Algorithm 2 machine per node; see Alg1Machines
+// for the orientation convention. IDs must be distinct (Theorem 1 assumes
+// unique IDs; use CheckDistinct upstream to diagnose violations early).
+func Alg2Machines(t ring.Topology, ids []uint64) ([]node.PulseMachine, error) {
+	if len(ids) != t.N() {
+		return nil, fmt.Errorf("core: %d IDs for %d nodes", len(ids), t.N())
+	}
+	if err := ring.CheckDistinct(ids); err != nil {
+		return nil, err
+	}
+	ms := make([]node.PulseMachine, t.N())
+	for k := range ms {
+		m, err := NewAlg2(ids[k], t.CWPort(k))
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", k, err)
+		}
+		ms[k] = m
+	}
+	return ms, nil
+}
+
+// Alg3Machines builds one Algorithm 3 machine per node. Machines are
+// port-agnostic: the same constructor serves oriented and non-oriented
+// topologies, which only differ in the simulator's wiring.
+func Alg3Machines(n int, ids []uint64, scheme IDScheme) ([]node.PulseMachine, error) {
+	if len(ids) != n {
+		return nil, fmt.Errorf("core: %d IDs for %d nodes", len(ids), n)
+	}
+	ms := make([]node.PulseMachine, n)
+	for k := range ms {
+		m, err := NewAlg3(ids[k], scheme)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", k, err)
+		}
+		ms[k] = m
+	}
+	return ms, nil
+}
+
+// Alg3ResampleMachines builds Proposition 19 machines, giving node k a
+// private generator seeded with seed+k.
+func Alg3ResampleMachines(n int, ids []uint64, scheme IDScheme, seed int64) ([]node.PulseMachine, error) {
+	if len(ids) != n {
+		return nil, fmt.Errorf("core: %d IDs for %d nodes", len(ids), n)
+	}
+	ms := make([]node.PulseMachine, n)
+	for k := range ms {
+		m, err := NewAlg3Resample(ids[k], scheme, seed+int64(k))
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", k, err)
+		}
+		ms[k] = m
+	}
+	return ms, nil
+}

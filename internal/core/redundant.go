@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Redundant implements the r-redundancy transformation of Section 1.1:
+// when composing content-oblivious algorithms whose first stage is NOT
+// quiescently terminating, but at most r stray first-stage pulses can
+// reach a node after it switches, the second stage can still run in an
+// "altered form where nodes send r+1 copies of each message, and process
+// arriving messages in groups of r+1 messages as well" — stray singletons
+// then never complete a group and are harmlessly absorbed. The paper notes
+// the price: an (r+1)-fold message blow-up, which is why its Algorithm 2
+// works hard to achieve quiescent termination instead.
+//
+// Redundant wraps any pulse machine into that altered form. On a clean
+// channel (no strays) the wrapped machine is observationally equivalent to
+// the original with exactly (r+1)x the pulses; tests verify both the
+// equivalence and the stray-absorption property.
+type Redundant struct {
+	inner node.PulseMachine
+	r     int
+	recvd [2]int // arrivals modulo r+1, per port
+}
+
+// NewRedundant wraps inner with redundancy r >= 0 (r = 0 is the identity
+// transformation).
+func NewRedundant(inner node.PulseMachine, r int) (*Redundant, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: nil inner machine")
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("core: negative redundancy %d", r)
+	}
+	return &Redundant{inner: inner, r: r}, nil
+}
+
+// Inner returns the wrapped machine for result inspection.
+func (rd *Redundant) Inner() node.PulseMachine { return rd.inner }
+
+// StrayPulses returns how many incomplete-group pulses are currently
+// absorbed (per port); after a clean run both counts are zero.
+func (rd *Redundant) StrayPulses() int { return rd.recvd[0] + rd.recvd[1] }
+
+// redundantEmitter replicates every inner send r+1 times.
+type redundantEmitter struct {
+	e node.PulseEmitter
+	r int
+}
+
+// Send implements node.Emitter.
+func (re redundantEmitter) Send(p pulse.Port, m pulse.Pulse) {
+	for i := 0; i <= re.r; i++ {
+		re.e.Send(p, m)
+	}
+}
+
+// Init implements node.Machine.
+func (rd *Redundant) Init(e node.PulseEmitter) {
+	rd.inner.Init(redundantEmitter{e: e, r: rd.r})
+}
+
+// OnMsg implements node.Machine: the (r+1)-th arrival on a port completes
+// a group and becomes one logical delivery.
+func (rd *Redundant) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	rd.recvd[p]++
+	if rd.recvd[p] <= rd.r {
+		return
+	}
+	rd.recvd[p] = 0
+	rd.inner.OnMsg(p, m, redundantEmitter{e: e, r: rd.r})
+}
+
+// Ready implements node.Machine. A partially received group must remain
+// drainable even if the inner machine has stopped polling the port, so
+// readiness is inner-readiness OR group-in-progress.
+func (rd *Redundant) Ready(p pulse.Port) bool {
+	return rd.inner.Ready(p) || rd.recvd[p] > 0
+}
+
+// Status implements node.Machine.
+func (rd *Redundant) Status() node.Status { return rd.inner.Status() }

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// wrapRedundant builds an Algorithm 2 ring in the r-redundant altered form
+// of Section 1.1.
+func wrapRedundant(t *testing.T, ids []uint64, r int) (ring.Topology, []node.PulseMachine) {
+	t.Helper()
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]node.PulseMachine, len(ids))
+	for k := range ms {
+		inner, err := core.NewAlg2(ids[k], topo.CWPort(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := core.NewRedundant(inner, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[k] = rd
+	}
+	return topo, ms
+}
+
+// TestRedundantEquivalence: the altered form elects the same leader with
+// exactly (r+1)x the pulses — the cost Section 1.1 quotes for composing
+// without quiescent termination.
+func TestRedundantEquivalence(t *testing.T) {
+	ids := []uint64{4, 7, 2, 5}
+	base := core.PredictedAlg2Pulses(len(ids), 7)
+	for _, r := range []int{0, 1, 2, 5} {
+		topo, ms := wrapRedundant(t, ids, r)
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(uint64(r+1)*4*base + 4096)
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		if res.Leader != 1 {
+			t.Errorf("r=%d: leader %d, want 1", r, res.Leader)
+		}
+		if !res.AllTerminated || !res.Quiescent {
+			t.Errorf("r=%d: terminated=%t quiescent=%t", r, res.AllTerminated, res.Quiescent)
+		}
+		if want := uint64(r+1) * base; res.Sent != want {
+			t.Errorf("r=%d: pulses %d, want exactly %d = (r+1)·n(2·ID_max+1)", r, res.Sent, want)
+		}
+		for k := 0; k < len(ids); k++ {
+			if got := s.Machine(k).(*core.Redundant).StrayPulses(); got != 0 {
+				t.Errorf("r=%d node %d: %d stray pulses after clean run", r, k, got)
+			}
+		}
+	}
+}
+
+// TestRedundantGrouping: unit-level — r stray pulses are absorbed without
+// a logical delivery; the (r+1)th completes the group.
+func TestRedundantGrouping(t *testing.T) {
+	const r = 3
+	counter := &countingMachine{}
+	rd, err := core.NewRedundant(counter, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := discardEmitter{}
+	for i := 0; i < r; i++ {
+		rd.OnMsg(pulse.Port0, pulse.Pulse{}, em)
+	}
+	if counter.delivered != 0 {
+		t.Fatalf("%d deliveries after %d pulses, want 0", counter.delivered, r)
+	}
+	if rd.StrayPulses() != r {
+		t.Errorf("StrayPulses = %d, want %d", rd.StrayPulses(), r)
+	}
+	rd.OnMsg(pulse.Port0, pulse.Pulse{}, em)
+	if counter.delivered != 1 {
+		t.Fatalf("group completion delivered %d, want 1", counter.delivered)
+	}
+	if rd.StrayPulses() != 0 {
+		t.Errorf("StrayPulses = %d after completion, want 0", rd.StrayPulses())
+	}
+	// Groups are per port: pulses on the other port do not mix.
+	rd.OnMsg(pulse.Port1, pulse.Pulse{}, em)
+	rd.OnMsg(pulse.Port0, pulse.Pulse{}, em)
+	if counter.delivered != 1 {
+		t.Errorf("cross-port mixing: delivered %d, want 1", counter.delivered)
+	}
+}
+
+// TestRedundantReplicatesSends: one inner send becomes r+1 wire pulses.
+func TestRedundantReplicatesSends(t *testing.T) {
+	const r = 2
+	sender := &initSender{}
+	rd, err := core.NewRedundant(sender, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingEmitter{}
+	rd.Init(rec)
+	if rec.count != r+1 {
+		t.Errorf("Init emitted %d pulses, want %d", rec.count, r+1)
+	}
+}
+
+// TestRedundantValidation covers the constructor.
+func TestRedundantValidation(t *testing.T) {
+	if _, err := core.NewRedundant(nil, 1); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := core.NewRedundant(&countingMachine{}, -1); err == nil {
+		t.Error("negative r accepted")
+	}
+}
+
+type countingMachine struct{ delivered int }
+
+func (c *countingMachine) Init(node.PulseEmitter) {}
+func (c *countingMachine) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {
+	c.delivered++
+}
+func (c *countingMachine) Ready(pulse.Port) bool { return true }
+func (c *countingMachine) Status() node.Status   { return node.Status{} }
+
+type initSender struct{}
+
+func (initSender) Init(e node.PulseEmitter)                         { e.Send(pulse.Port1, pulse.Pulse{}) }
+func (initSender) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {}
+func (initSender) Ready(pulse.Port) bool                            { return true }
+func (initSender) Status() node.Status                              { return node.Status{} }
+
+type recordingEmitter struct{ count int }
+
+func (r *recordingEmitter) Send(pulse.Port, pulse.Pulse) { r.count++ }

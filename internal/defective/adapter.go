@@ -1,0 +1,220 @@
+package defective
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// This file realizes the full strength of Corollary 5: ANY content-
+// carrying asynchronous ring algorithm — an arbitrary node.Machine[M] —
+// runs unchanged over the fully defective transport. Messages of type M
+// are marshaled to integers, split into bounded base-2^digitBits chunks
+// (unary frames must stay small: a frame of value v costs (v+1)·n pulses,
+// so a raw 64-bit value would be astronomically expensive), carried as
+// ordinary layer frames, and reassembled in order on the receiving side
+// (per-owner frame order is total, so no sequencing metadata is needed).
+//
+// Shutdown needs no cooperation from the simulated algorithm: because
+// turns are round-robin and simulated nodes are event-driven (they send
+// only while handling a delivery), a full rotation of n consecutive pass
+// frames proves the simulated network is quiescent — nothing was queued
+// at any node's turn and nothing was delivered in between. The adapter at
+// index 0 halts the layer when it observes such a rotation.
+
+// DefaultDigitBits is the default chunk width: 4 keeps the largest digit
+// frame at 2+2·(15<<1)+1 = 63, i.e. at most 64·n pulses, a good balance
+// between per-chunk unary cost and chunks (turn rotations) per message.
+// The trade-off is measured in experiment E12.
+const DefaultDigitBits = 4
+
+// encodeChunks splits v into adapter payloads under a digit width of
+// `bits`: a header carrying the digit count, then the digits most
+// significant first.
+func encodeChunks(v uint64, bits uint) []uint64 {
+	mask := uint64(1)<<bits - 1
+	var digits []uint64
+	for {
+		digits = append(digits, v&mask)
+		v >>= bits
+		if v == 0 {
+			break
+		}
+	}
+	chunks := make([]uint64, 0, len(digits)+1)
+	chunks = append(chunks, uint64(len(digits))<<1|1) // header: odd payload
+	for i := len(digits) - 1; i >= 0; i-- {
+		chunks = append(chunks, digits[i]<<1) // digit: even payload
+	}
+	return chunks
+}
+
+// ChunkCost returns the exact pulse cost of transporting one value as
+// chunks under a digit width of `bits` on an n-ring: each chunk is one
+// frame of (payload encoded) value plus its marker.
+func ChunkCost(n int, v uint64, bits uint) uint64 {
+	var total uint64
+	for _, chunk := range encodeChunks(v, bits) {
+		total += FramePulses(n, EncodeFrame(ToCW, chunk))
+	}
+	return total
+}
+
+// chunkAssembler reassembles one direction's chunk stream.
+type chunkAssembler struct {
+	remaining int
+	acc       uint64
+	active    bool
+}
+
+// feed consumes one payload; done reports a completed value in v.
+func (ca *chunkAssembler) feed(payload uint64, bits uint) (v uint64, done bool, err error) {
+	if payload&1 == 1 { // header
+		if ca.active {
+			return 0, false, fmt.Errorf("defective: header chunk inside a message (%d digits pending)", ca.remaining)
+		}
+		n := int(payload >> 1)
+		if n < 1 || n > 64/int(bits)+1 {
+			return 0, false, fmt.Errorf("defective: header declares %d digits", n)
+		}
+		ca.active = true
+		ca.remaining = n
+		ca.acc = 0
+		return 0, false, nil
+	}
+	if !ca.active {
+		return 0, false, fmt.Errorf("defective: digit chunk without header")
+	}
+	ca.acc = ca.acc<<bits | payload>>1
+	ca.remaining--
+	if ca.remaining == 0 {
+		ca.active = false
+		return ca.acc, true, nil
+	}
+	return 0, false, nil
+}
+
+// Adapter runs an arbitrary content-carrying ring machine over the
+// defective layer. The inner machine must be built with Port1 as its
+// clockwise port (the adapter maps ports to layer directions under that
+// convention) and must be fresh (not previously initialized).
+type Adapter[M any] struct {
+	inner node.Machine[M]
+	enc   func(M) uint64
+	dec   func(uint64) (M, error)
+	bits  uint
+
+	rx         [2]chunkAssembler // indexed by sender direction (ToCW/ToCCW)
+	passStreak int
+	started    bool
+	halted     bool
+	err        error
+}
+
+// NewAdapter wraps inner; enc/dec marshal its message type to integers
+// (values should be kept compact — transport cost grows with magnitude).
+// The chunk width defaults to DefaultDigitBits; see NewAdapterBits.
+func NewAdapter[M any](inner node.Machine[M], enc func(M) uint64, dec func(uint64) (M, error)) (*Adapter[M], error) {
+	return NewAdapterBits(inner, enc, dec, DefaultDigitBits)
+}
+
+// NewAdapterBits is NewAdapter with an explicit chunk width in [1, 16]
+// bits: wider digits mean fewer frames per message but exponentially more
+// pulses per frame (unary encoding). All nodes of a ring must agree.
+func NewAdapterBits[M any](inner node.Machine[M], enc func(M) uint64, dec func(uint64) (M, error), bits uint) (*Adapter[M], error) {
+	if inner == nil || enc == nil || dec == nil {
+		return nil, fmt.Errorf("defective: NewAdapter requires inner, enc, and dec")
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("defective: chunk width %d outside [1,16]", bits)
+	}
+	return &Adapter[M]{inner: inner, enc: enc, dec: dec, bits: bits}, nil
+}
+
+// Inner returns the wrapped machine for result inspection.
+func (ad *Adapter[M]) Inner() node.Machine[M] { return ad.inner }
+
+// Err returns the first transport fault observed by the adapter.
+func (ad *Adapter[M]) Err() error { return ad.err }
+
+// adapterEmitter maps the inner machine's port sends to layer messages.
+type adapterEmitter[M any] struct {
+	ad  *Adapter[M]
+	api API
+}
+
+// Send implements node.Emitter.
+func (e adapterEmitter[M]) Send(p pulse.Port, m M) {
+	to := ToCCW
+	if p == pulse.Port1 { // inner convention: Port1 is clockwise
+		to = ToCW
+	}
+	for _, chunk := range encodeChunks(e.ad.enc(m), e.ad.bits) {
+		e.api.Send(to, chunk)
+	}
+}
+
+// Start implements App.
+func (ad *Adapter[M]) Start(api API) {
+	ad.started = true
+	ad.inner.Init(adapterEmitter[M]{ad: ad, api: api})
+	ad.checkInner()
+}
+
+// Deliver implements App: reassemble the sender's chunk stream; a
+// completed value becomes a delivery to the inner machine on the port the
+// message's travel direction dictates (a clockwise-traveling message, i.e.
+// one from the counterclockwise neighbor, arrives on Port0).
+func (ad *Adapter[M]) Deliver(from Dir, payload uint64, api API) {
+	v, done, err := ad.rx[from].feed(payload, ad.bits)
+	if err != nil {
+		ad.fail(err)
+		return
+	}
+	if !done {
+		return
+	}
+	m, err := ad.dec(v)
+	if err != nil {
+		ad.fail(fmt.Errorf("defective: undecodable message %d: %w", v, err))
+		return
+	}
+	port := pulse.Port0
+	if from == ToCW {
+		port = pulse.Port1
+	}
+	if st := ad.inner.Status(); st.Terminated {
+		ad.fail(fmt.Errorf("defective: message for terminated inner machine"))
+		return
+	}
+	ad.inner.OnMsg(port, m, adapterEmitter[M]{ad: ad, api: api})
+	ad.checkInner()
+}
+
+// OnFrame implements FrameObserver: the all-pass quiescence detector. The
+// index-0 adapter halts the layer after observing n consecutive pass
+// frames once the simulation has started.
+func (ad *Adapter[M]) OnFrame(owner int, value uint64, api API) {
+	if value == framePass {
+		ad.passStreak++
+	} else {
+		ad.passStreak = 0
+	}
+	if !ad.halted && ad.started && api.Index() == 0 && ad.passStreak >= api.N() {
+		ad.halted = true
+		api.Halt()
+	}
+}
+
+func (ad *Adapter[M]) checkInner() {
+	if err := ad.inner.Status().Err; err != nil && ad.err == nil {
+		ad.err = fmt.Errorf("defective: inner machine fault: %w", err)
+	}
+}
+
+func (ad *Adapter[M]) fail(err error) {
+	if ad.err == nil {
+		ad.err = err
+	}
+}

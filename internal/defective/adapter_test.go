@@ -1,0 +1,318 @@
+package defective_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coleader/internal/baseline"
+	"coleader/internal/defective"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// buildAdapted wires a ring where each node runs the named classical
+// baseline over the defective transport, rooted at node 0.
+func buildAdapted(t *testing.T, algo baseline.Algorithm, ids []uint64) (ring.Topology, []node.PulseMachine, []*defective.Adapter[baseline.Msg]) {
+	t.Helper()
+	n := len(ids)
+	topo, err := ring.Oriented(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := func(v uint64) (baseline.Msg, error) { return baseline.UnpackMsg(v) }
+	adapters := make([]*defective.Adapter[baseline.Msg], n)
+	ms := make([]node.PulseMachine, n)
+	for k := 0; k < n; k++ {
+		// Inner machines use the Port1-is-clockwise convention the adapter
+		// expects, regardless of the transport ring's wiring.
+		inner, err := baseline.New(algo, ids[k], pulse.Port1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad, err := defective.NewAdapter[baseline.Msg](inner, baseline.MustPackMsg, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adapters[k] = ad
+		dn, err := defective.NewNode(k == 0, topo.CWPort(k), ad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[k] = dn
+	}
+	return topo, ms, adapters
+}
+
+// TestBaselinesOverDefective is the full-strength Corollary 5 check: all
+// four classical content-carrying election algorithms — including the
+// bidirectional Hirschberg–Sinclair — run UNCHANGED over a network that
+// erases every message, and still elect the maximum-ID node.
+func TestBaselinesOverDefective(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, algo := range baseline.Algorithms() {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				n := 2 + rng.Intn(3)
+				ids := ring.PermutedIDs(n, rng)
+				topo, ms, adapters := buildAdapted(t, algo, ids)
+				s, err := sim.New(topo, ms, sim.NewRandom(int64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(1 << 26)
+				if err != nil {
+					t.Fatalf("trial %d ids %v: %v", trial, ids, err)
+				}
+				if !res.Quiescent || !res.AllTerminated {
+					t.Fatalf("trial %d: quiescent=%t terminated=%t", trial, res.Quiescent, res.AllTerminated)
+				}
+				wantLeader, _ := ring.MaxIndex(ids)
+				for k, ad := range adapters {
+					if err := ad.Err(); err != nil {
+						t.Fatalf("trial %d node %d: transport fault: %v", trial, k, err)
+					}
+					st := ad.Inner().Status()
+					want := node.StateNonLeader
+					if k == wantLeader {
+						want = node.StateLeader
+					}
+					if st.State != want {
+						t.Errorf("trial %d (%s, ids=%v): node %d inner state %v, want %v",
+							trial, algo, ids, k, st.State, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptedSelfRing: the degenerate n=1 transport still carries the
+// inner algorithm's self-messages.
+func TestAdaptedSelfRing(t *testing.T) {
+	topo, ms, adapters := buildAdapted(t, baseline.AlgChangRoberts, []uint64{5})
+	s, err := sim.New(topo, ms, sim.Canonical{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if st := adapters[0].Inner().Status(); st.State != node.StateLeader {
+		t.Errorf("sole node state %v, want Leader", st.State)
+	}
+}
+
+// TestChunkCodecRoundTrip: the chunk encoding round-trips arbitrary
+// values through a fresh assembler.
+func TestChunkCodecRoundTrip(t *testing.T) {
+	prop := func(v uint64) bool {
+		msg, err := roundTripChunks(v)
+		return err == nil && msg == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []uint64{0, 1, 15, 16, 255, 1 << 40, ^uint64(0)} {
+		got, err := roundTripChunks(v)
+		if err != nil || got != v {
+			t.Errorf("roundtrip(%d) = %d, %v", v, got, err)
+		}
+	}
+}
+
+// roundTripChunks drives the exported surface end to end: encode via an
+// adapter emitter, decode via Deliver, observe via a capturing inner
+// machine.
+func roundTripChunks(v uint64) (uint64, error) {
+	capture := &captureMachine{}
+	ad, err := defective.NewAdapter[uint64](capture,
+		func(x uint64) uint64 { return x },
+		func(x uint64) (uint64, error) { return x, nil })
+	if err != nil {
+		return 0, err
+	}
+	api := &fakeAPI{n: 2}
+	// Encode by sending from a twin adapter wired to the same API queue.
+	sender := &senderMachine{payload: v}
+	adSend, err := defective.NewAdapter[uint64](sender,
+		func(x uint64) uint64 { return x },
+		func(x uint64) (uint64, error) { return x, nil })
+	if err != nil {
+		return 0, err
+	}
+	adSend.Start(api)
+	for _, chunk := range api.sent {
+		ad.Deliver(defective.ToCCW, chunk, api)
+	}
+	if err := ad.Err(); err != nil {
+		return 0, err
+	}
+	if len(capture.got) != 1 {
+		return 0, fmt.Errorf("delivered %d messages, want 1", len(capture.got))
+	}
+	return capture.got[0], nil
+}
+
+// senderMachine emits one clockwise message at init.
+type senderMachine struct{ payload uint64 }
+
+func (s *senderMachine) Init(e node.Emitter[uint64]) { e.Send(pulse.Port1, s.payload) }
+func (s *senderMachine) OnMsg(pulse.Port, uint64, node.Emitter[uint64]) {
+}
+func (s *senderMachine) Ready(pulse.Port) bool { return true }
+func (s *senderMachine) Status() node.Status   { return node.Status{} }
+
+// captureMachine records deliveries.
+type captureMachine struct{ got []uint64 }
+
+func (c *captureMachine) Init(node.Emitter[uint64]) {}
+func (c *captureMachine) OnMsg(_ pulse.Port, v uint64, _ node.Emitter[uint64]) {
+	c.got = append(c.got, v)
+}
+func (c *captureMachine) Ready(pulse.Port) bool { return true }
+func (c *captureMachine) Status() node.Status   { return node.Status{} }
+
+// fakeAPI records adapter sends.
+type fakeAPI struct {
+	n    int
+	sent []uint64
+	halt bool
+}
+
+func (f *fakeAPI) Send(_ defective.Dir, payload uint64) { f.sent = append(f.sent, payload) }
+func (f *fakeAPI) Halt()                                { f.halt = true }
+func (f *fakeAPI) N() int                               { return f.n }
+func (f *fakeAPI) Index() int                           { return 0 }
+
+// TestAdapterChunkFaults: malformed chunk streams surface as adapter
+// errors instead of silent corruption.
+func TestAdapterChunkFaults(t *testing.T) {
+	mkAdapter := func() *defective.Adapter[uint64] {
+		ad, err := defective.NewAdapter[uint64](&captureMachine{},
+			func(x uint64) uint64 { return x },
+			func(x uint64) (uint64, error) { return x, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ad
+	}
+	api := &fakeAPI{n: 2}
+
+	digitFirst := mkAdapter()
+	digitFirst.Deliver(defective.ToCW, 0<<1, api) // digit with no header
+	if digitFirst.Err() == nil {
+		t.Error("digit without header accepted")
+	}
+
+	doubleHeader := mkAdapter()
+	doubleHeader.Deliver(defective.ToCW, 2<<1|1, api) // header: 2 digits
+	doubleHeader.Deliver(defective.ToCW, 3<<1|1, api) // header again
+	if doubleHeader.Err() == nil {
+		t.Error("nested header accepted")
+	}
+
+	hugeHeader := mkAdapter()
+	hugeHeader.Deliver(defective.ToCW, 99<<1|1, api)
+	if hugeHeader.Err() == nil {
+		t.Error("oversized header accepted")
+	}
+}
+
+// TestAdapterChunkWidths: the transport works at every legal chunk width,
+// with identical application outcomes and width-dependent cost.
+func TestAdapterChunkWidths(t *testing.T) {
+	ids := []uint64{2, 5, 3}
+	var costs []uint64
+	for _, bits := range []uint{1, 2, 4, 8, 12} {
+		bits := bits
+		topo, err := ring.Oriented(len(ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := func(v uint64) (baseline.Msg, error) { return baseline.UnpackMsg(v) }
+		adapters := make([]*defective.Adapter[baseline.Msg], len(ids))
+		ms := make([]node.PulseMachine, len(ids))
+		for k := range ms {
+			inner, err := baseline.New(baseline.AlgChangRoberts, ids[k], pulse.Port1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ad, err := defective.NewAdapterBits[baseline.Msg](inner, baseline.MustPackMsg, dec, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adapters[k] = ad
+			dn, err := defective.NewNode(k == 0, topo.CWPort(k), ad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms[k] = dn
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(bits)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(1 << 26)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		costs = append(costs, res.Sent)
+		for k, ad := range adapters {
+			want := node.StateNonLeader
+			if ids[k] == 5 {
+				want = node.StateLeader
+			}
+			if got := ad.Inner().Status().State; got != want {
+				t.Errorf("bits=%d node %d: state %v, want %v", bits, k, got, want)
+			}
+		}
+	}
+	// 1-bit chunks pay a full turn rotation per bit and must cost the most
+	// here. (Wider digits are not automatically worse: packed protocol
+	// values are sparse, so high-base digits are often tiny — the full
+	// width/cost curve is measured in experiment E12.)
+	def := costs[2] // bits=4
+	if costs[0] <= def {
+		t.Errorf("1-bit transport (%d pulses) not costlier than 4-bit (%d)", costs[0], def)
+	}
+}
+
+// TestChunkCost pins the closed-form per-value transport cost.
+func TestChunkCost(t *testing.T) {
+	// Value 0 at 4 bits: 1 header (payload 1<<1|1=3 -> frame 2+6+0=8,
+	// wait: header frame value = EncodeFrame(ToCW, 3) = 2+6 = 8) plus one
+	// digit 0 (frame value 2). Cost = (8+1+1)*n? Use the function as the
+	// source of truth against a hand enumeration instead:
+	n := 3
+	got := defective.ChunkCost(n, 0, 4)
+	// chunks: header k=1 -> payload 3 -> frame value 8 -> (8+1+1)*3 = 30;
+	// digit 0 -> payload 0 -> frame value 2 -> (2+1+1)*3 = 12. Total 42.
+	if got != 42 {
+		t.Errorf("ChunkCost(3, 0, 4) = %d, want 42", got)
+	}
+	// Wider digits shrink chunk count for big values.
+	big := uint64(1) << 32
+	if defective.ChunkCost(n, big, 16) >= defective.ChunkCost(n, big, 1)*2 {
+		t.Error("cost model shape off: 16-bit should not dwarf 1-bit by 2x for 2^32")
+	}
+}
+
+// TestNewAdapterValidation covers constructor checks.
+func TestNewAdapterValidation(t *testing.T) {
+	enc := func(x uint64) uint64 { return x }
+	dec := func(x uint64) (uint64, error) { return x, nil }
+	if _, err := defective.NewAdapter[uint64](nil, enc, dec); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := defective.NewAdapter[uint64](&captureMachine{}, nil, dec); err == nil {
+		t.Error("nil enc accepted")
+	}
+	if _, err := defective.NewAdapter[uint64](&captureMachine{}, enc, nil); err == nil {
+		t.Error("nil dec accepted")
+	}
+}

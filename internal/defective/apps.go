@@ -1,0 +1,204 @@
+package defective
+
+// Demonstration applications for the defective layer: ordinary
+// content-carrying asynchronous ring algorithms, written against the App
+// interface with no knowledge that their messages will be transported as
+// pulse counts. Together with Composed they realize Corollary 5 end to
+// end.
+
+// RingMax computes the maximum input over the ring: the root circulates an
+// aggregation token clockwise that each node folds its input into; after a
+// full loop the root learns the global maximum and circulates the result,
+// again clockwise; when the result returns, the root halts the layer.
+// Every node ends up knowing max over all inputs.
+type RingMax struct {
+	input  uint64
+	result uint64
+	phase  uint8 // 0 aggregate, 1 announce, 2 done
+	done   bool
+}
+
+// NewRingMax returns a max-consensus app with the given local input.
+func NewRingMax(input uint64) *RingMax { return &RingMax{input: input} }
+
+// Result returns the computed maximum (valid once Done).
+func (r *RingMax) Result() uint64 { return r.result }
+
+// Done reports whether the node learned the final result.
+func (r *RingMax) Done() bool { return r.done }
+
+// Start implements App: only the root initiates.
+func (r *RingMax) Start(api API) {
+	if api.Index() != 0 {
+		return
+	}
+	api.Send(ToCW, r.input)
+}
+
+// Deliver implements App.
+func (r *RingMax) Deliver(from Dir, payload uint64, api API) {
+	if from != ToCCW {
+		// Both token and result travel clockwise, so they always arrive
+		// from the counterclockwise neighbor; anything else is a transport
+		// bug that tests should surface as a wrong result.
+		return
+	}
+	root := api.Index() == 0
+	switch r.phase {
+	case 0:
+		if root {
+			// Aggregation token completed the loop: fold our input once
+			// more is unnecessary (we seeded it); announce the result.
+			r.result = payload
+			r.done = true
+			r.phase = 1
+			api.Send(ToCW, payload)
+			return
+		}
+		agg := payload
+		if r.input > agg {
+			agg = r.input
+		}
+		r.phase = 1
+		api.Send(ToCW, agg)
+	case 1:
+		if root {
+			// Result token returned: everyone knows; shut down.
+			r.phase = 2
+			api.Halt()
+			return
+		}
+		r.result = payload
+		r.done = true
+		r.phase = 2
+		api.Send(ToCW, payload)
+	default:
+		// Late traffic after completion would indicate a transport bug;
+		// ignore so the output comparison catches it.
+	}
+}
+
+// RingSum computes the sum of all inputs by the same two-loop scheme as
+// RingMax, but counterclockwise, to exercise the other direction of the
+// frame encoding.
+type RingSum struct {
+	input  uint64
+	result uint64
+	phase  uint8
+	done   bool
+}
+
+// NewRingSum returns a sum app with the given local input.
+func NewRingSum(input uint64) *RingSum { return &RingSum{input: input} }
+
+// Result returns the computed sum (valid once Done).
+func (s *RingSum) Result() uint64 { return s.result }
+
+// Done reports whether the node learned the final result.
+func (s *RingSum) Done() bool { return s.done }
+
+// Start implements App.
+func (s *RingSum) Start(api API) {
+	if api.Index() != 0 {
+		return
+	}
+	api.Send(ToCCW, s.input)
+}
+
+// Deliver implements App.
+func (s *RingSum) Deliver(from Dir, payload uint64, api API) {
+	if from != ToCW {
+		return // counterclockwise traffic arrives from the clockwise side
+	}
+	root := api.Index() == 0
+	switch s.phase {
+	case 0:
+		if root {
+			s.result = payload
+			s.done = true
+			s.phase = 1
+			api.Send(ToCCW, payload)
+			return
+		}
+		s.phase = 1
+		api.Send(ToCCW, payload+s.input)
+	case 1:
+		if root {
+			s.phase = 2
+			api.Halt()
+			return
+		}
+		s.result = payload
+		s.done = true
+		s.phase = 2
+		api.Send(ToCCW, payload)
+	}
+}
+
+// RingCR runs Chang–Roberts over the defective layer — a deliberately
+// self-referential stress test: a classical content-carrying election
+// executing on a network that cannot carry content. Each node launches its
+// (application-level) ID clockwise, forwards larger IDs, swallows smaller
+// ones, and the owner of the returning maximum announces; the announcement
+// also tells the root to halt the layer.
+type RingCR struct {
+	id       uint64
+	leaderID uint64
+	leader   bool
+	decided  bool
+}
+
+// NewRingCR returns a Chang–Roberts app with the given application-level
+// ID (independent of any transport-level identity).
+func NewRingCR(id uint64) *RingCR { return &RingCR{id: id} }
+
+// LeaderID returns the elected application-level leader ID (valid once
+// Decided).
+func (c *RingCR) LeaderID() uint64 { return c.leaderID }
+
+// Leader reports whether this node won.
+func (c *RingCR) Leader() bool { return c.leader }
+
+// Decided reports whether the node has decided.
+func (c *RingCR) Decided() bool { return c.decided }
+
+// payload encoding: bit 0 = kind (0 probe, 1 announce), rest = ID.
+func crProbe(id uint64) uint64    { return id << 1 }
+func crAnnounce(id uint64) uint64 { return id<<1 | 1 }
+
+// Start implements App.
+func (c *RingCR) Start(api API) {
+	api.Send(ToCW, crProbe(c.id))
+}
+
+// Deliver implements App.
+func (c *RingCR) Deliver(from Dir, payload uint64, api API) {
+	if from != ToCCW {
+		return
+	}
+	id := payload >> 1
+	if payload&1 == 1 { // announce
+		if id == c.id {
+			// Our announcement completed the loop: the ring has decided.
+			// The layer's HALT may come from any node; the winner is the
+			// natural choice.
+			api.Halt()
+			return
+		}
+		c.leaderID = id
+		c.decided = true
+		api.Send(ToCW, payload)
+		return
+	}
+	switch {
+	case id > c.id:
+		api.Send(ToCW, payload)
+	case id < c.id:
+		// Swallow.
+	default:
+		c.leader = true
+		c.leaderID = c.id
+		c.decided = true
+		api.Send(ToCW, crAnnounce(c.id))
+	}
+}

@@ -1,0 +1,110 @@
+package defective
+
+import (
+	"fmt"
+
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Composed is Corollary 5 as a machine: it runs Algorithm 2 until the node
+// terminates the election, then — "replacing the act of termination with
+// the act of switching to the second algorithm" (Section 1.1) — morphs
+// into a defective-layer node, with the elected leader as root.
+//
+// The composition is sound exactly because of Algorithm 2's guarantees:
+// termination is quiescent (no election pulse can reach a node after its
+// switch, so no pulse is ever mis-attributed across the two algorithms)
+// and the leader terminates last (when the root's first census pulse goes
+// out, every other node is already running the layer).
+type Composed struct {
+	elect  *core.Alg2
+	layer  *Node
+	app    App
+	cwPort pulse.Port
+	err    error
+}
+
+// NewComposed builds the composed machine for one node: elect with id over
+// an oriented ring (cwPort leads clockwise), then run app over the
+// defective layer rooted at the winner.
+func NewComposed(id uint64, cwPort pulse.Port, app App) (*Composed, error) {
+	if app == nil {
+		return nil, fmt.Errorf("defective: nil app")
+	}
+	elect, err := core.NewAlg2(id, cwPort)
+	if err != nil {
+		return nil, err
+	}
+	return &Composed{elect: elect, app: app, cwPort: cwPort}, nil
+}
+
+// Layer returns the inner defective-layer node, or nil while the election
+// is still running.
+func (c *Composed) Layer() *Node { return c.layer }
+
+// App returns the simulated application.
+func (c *Composed) App() App { return c.app }
+
+// Init implements node.Machine.
+func (c *Composed) Init(e node.PulseEmitter) {
+	c.elect.Init(e)
+	c.maybeSwitch(e)
+}
+
+// OnMsg implements node.Machine.
+func (c *Composed) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	if c.layer != nil {
+		c.layer.OnMsg(p, m, e)
+		return
+	}
+	c.elect.OnMsg(p, m, e)
+	c.maybeSwitch(e)
+}
+
+// maybeSwitch performs the termination-to-switch substitution.
+func (c *Composed) maybeSwitch(e node.PulseEmitter) {
+	st := c.elect.Status()
+	if st.Err != nil || !st.Terminated {
+		return
+	}
+	layer, err := NewNode(st.State == node.StateLeader, c.cwPort, c.app)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.layer = layer
+	c.layer.Init(e)
+}
+
+// Ready implements node.Machine.
+func (c *Composed) Ready(p pulse.Port) bool {
+	if c.layer != nil {
+		return c.layer.Ready(p)
+	}
+	// During the election, termination means "switch", not "stop": the
+	// machine keeps polling, but CCW gating is inherited from Algorithm 2.
+	return c.elect.Ready(p)
+}
+
+// Status implements node.Machine: the election's outcome with the layer's
+// termination, so a Composed run reports Leader/Non-Leader like an
+// election and terminates like the layer.
+func (c *Composed) Status() node.Status {
+	if c.err != nil {
+		return node.Status{Err: c.err}
+	}
+	if c.layer == nil {
+		st := c.elect.Status()
+		st.Terminated = false // termination became the switch
+		return st
+	}
+	st := c.layer.Status()
+	if st.Err == nil {
+		if es := c.elect.Status(); es.Err != nil {
+			st.Err = es.Err
+		}
+	}
+	return st
+}

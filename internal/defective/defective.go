@@ -1,0 +1,519 @@
+// Package defective implements the substrate Corollary 5 composes with: a
+// universal simulation of content-carrying asynchronous ring algorithms
+// over a fully defective (pulses-only) oriented ring with a distinguished
+// root. It is a ring specialization of the compiler of Censor-Hillel,
+// Cohen, Gelles, and Sela (Distributed Computing, 2023), which the paper's
+// leader election supplies with its root: compose Algorithm 2 with this
+// layer (see Composed) and any asynchronous ring algorithm runs over a
+// network that destroys every message's content.
+//
+// # Protocol
+//
+// All data travels clockwise; all control markers travel counterclockwise.
+// Per-channel FIFO (guaranteed by the model) makes markers unambiguous.
+//
+// Census (stop-and-wait): the root emits one clockwise pulse per round.
+// The first clockwise pulse to reach an uncounted node is absorbed there,
+// answered by a counterclockwise ack that relays back to the root, which
+// then starts the next round; counted nodes relay everything. The round-n
+// pulse finds every node counted and returns to the root, which thereby
+// learns n — strictly causally, with no delivery-order assumptions. The
+// root then sends two back-to-back counterclockwise markers. During the
+// census a node never sees two counterclockwise arrivals without an
+// intervening clockwise one (each relayed ack is preceded by the round
+// pulse that caused it), so a counterclockwise pair is an unambiguous
+// end-of-census signal. At that point a node that relayed a acks knows its
+// clockwise distance from the root is n-1-a — once it learns n.
+//
+// Frames: the current holder sends value+1 clockwise data pulses; every
+// other node relays and counts them; the holder absorbs its own pulses as
+// they return and then sends one counterclockwise marker. A node reads the
+// frame's value as (pulses counted)-1 when the marker passes, and the
+// holder absorbs the returning marker to end its tenure. Frame 0 is the
+// root broadcasting n (which also lets every node solve for its index);
+// thereafter frame f belongs to node f mod n, round-robin. Frame values
+// encode: 0 = pass, 1 = HALT, 2+2p+d = payload p to the clockwise (d=0) or
+// counterclockwise (d=1) neighbor. The HALT frame's marker terminates each
+// node it passes, the halting holder last — quiescently, preserving the
+// composability property of Section 1.1.
+package defective
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Dir addresses one of a node's two ring neighbors in the simulated
+// (content-carrying) algorithm's terms.
+type Dir uint8
+
+// Neighbor directions.
+const (
+	// ToCW addresses the clockwise neighbor (index+1 mod n).
+	ToCW Dir = iota
+	// ToCCW addresses the counterclockwise neighbor (index-1 mod n).
+	ToCCW
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	if d == ToCW {
+		return "cw"
+	}
+	return "ccw"
+}
+
+// API is the interface the defective layer offers to a simulated
+// algorithm. N and Index are valid from Start onward.
+type API interface {
+	// Send queues one message to a neighbor; it is transmitted as this
+	// node's next frames, one message per turn, in order.
+	Send(to Dir, payload uint64)
+	// Halt requests a layer shutdown: once this node's send queue drains,
+	// its next turn emits the HALT frame and the whole ring terminates
+	// quiescently.
+	Halt()
+	// N returns the ring size.
+	N() int
+	// Index returns this node's clockwise distance from the root.
+	Index() int
+}
+
+// App is a simulated content-carrying ring algorithm. Its messages are
+// (direction, payload) pairs; the layer transports them with full fidelity
+// over pulses.
+type App interface {
+	// Start runs when the layer has established n and the node's index.
+	Start(api API)
+	// Deliver runs when a message addressed to this node arrives. from is
+	// the direction of the SENDER relative to this node.
+	Deliver(from Dir, payload uint64, api API)
+}
+
+// Frame-value encoding.
+const (
+	framePass uint64 = 0
+	frameHalt uint64 = 1
+	frameBase uint64 = 2
+)
+
+// EncodeFrame converts a simulated message into a frame value.
+func EncodeFrame(to Dir, payload uint64) uint64 {
+	return frameBase + 2*payload + uint64(to)
+}
+
+// DecodeFrame inverts EncodeFrame; ok is false for pass/HALT frames.
+func DecodeFrame(v uint64) (to Dir, payload uint64, ok bool) {
+	if v < frameBase {
+		return 0, 0, false
+	}
+	v -= frameBase
+	return Dir(v & 1), v >> 1, true
+}
+
+// phase enumerates the layer's node states.
+type phase uint8
+
+const (
+	phCensusWait  phase = iota + 1 // non-root: awaiting the counting pulse
+	phCensusRelay                  // non-root: counted, relaying rounds/acks
+	phRootCensus                   // root: stop-and-wait rounds
+	phRootMarkers                  // root: awaiting its two markers back
+	phBroadcast                    // non-root: reading frame 0 (the value n)
+	phSteady                       // turn-based frames
+	phDone
+)
+
+// Node is the defective-layer machine for one ring node. It implements
+// node.Machine[pulse.Pulse]; all content it moves for the App exists only
+// in pulse counts.
+type Node struct {
+	cwPort pulse.Port
+	isRoot bool
+	app    App
+
+	phase phase
+	err   error
+
+	// Census bookkeeping.
+	lastWasCCW bool
+	ccwSeen    int // counterclockwise arrivals during census (acks+markers)
+	rounds     int // root: census rounds started
+	markersIn  int // root: returned markers
+
+	// Identity (valid from steady phase).
+	n     int
+	index int
+
+	// Frame machinery.
+	frameNum  int
+	cwData    int // relayed data pulses attributed to the pending frame
+	holding   bool
+	markerOut bool
+	holderVal uint64
+	holderGot int
+	outQ      []uint64 // encoded frame values awaiting this node's turns
+	wantHalt  bool
+	halting   bool
+	started   bool
+
+	sentFrames     int
+	deliveredMsgs  int
+	observedFrames int
+}
+
+// NewNode builds a defective-layer machine. Exactly one node of the ring
+// must be the root; cwPort is the port leading to the clockwise neighbor
+// (both facts are exactly what Algorithm 2 plus orientation provide).
+func NewNode(isRoot bool, cwPort pulse.Port, app App) (*Node, error) {
+	if app == nil {
+		return nil, fmt.Errorf("defective: nil app")
+	}
+	if !cwPort.Valid() {
+		return nil, fmt.Errorf("defective: invalid clockwise port %d", cwPort)
+	}
+	ph := phCensusWait
+	if isRoot {
+		ph = phRootCensus
+	}
+	return &Node{cwPort: cwPort, isRoot: isRoot, app: app, phase: ph}, nil
+}
+
+// N returns the ring size (0 before the steady phase).
+func (d *Node) N() int { return d.n }
+
+// Index returns the node's clockwise distance from the root (valid from
+// the steady phase).
+func (d *Node) Index() int { return d.index }
+
+// FramesObserved returns how many completed frames this node has seen.
+func (d *Node) FramesObserved() int { return d.observedFrames }
+
+// FramesSent returns how many message frames this node transmitted.
+func (d *Node) FramesSent() int { return d.sentFrames }
+
+// MessagesDelivered returns how many simulated messages were handed to
+// this node's App.
+func (d *Node) MessagesDelivered() int { return d.deliveredMsgs }
+
+// sendCW / sendCCW move one pulse in a ring direction.
+func (d *Node) sendCW(e node.PulseEmitter)  { e.Send(d.cwPort, pulse.Pulse{}) }
+func (d *Node) sendCCW(e node.PulseEmitter) { e.Send(d.cwPort.Opposite(), pulse.Pulse{}) }
+
+func (d *Node) fault(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Init implements node.Machine: the root opens census round 1; everyone
+// else waits to be counted.
+func (d *Node) Init(e node.PulseEmitter) {
+	if d.isRoot {
+		d.rounds = 1
+		d.sendCW(e)
+	}
+}
+
+// Ready implements node.Machine.
+func (d *Node) Ready(pulse.Port) bool { return d.phase != phDone }
+
+// Status implements node.Machine. The layer reports Leader for the root so
+// that election tests over Composed machines keep working transparently.
+func (d *Node) Status() node.Status {
+	st := node.Status{Terminated: d.phase == phDone, Err: d.err}
+	if d.isRoot {
+		st.State = node.StateLeader
+	} else {
+		st.State = node.StateNonLeader
+	}
+	st.HasOrientation = true
+	st.CWPort = d.cwPort
+	return st
+}
+
+// OnMsg implements node.Machine.
+func (d *Node) OnMsg(p pulse.Port, _ pulse.Pulse, e node.PulseEmitter) {
+	isCW := p == d.cwPort.Opposite() // clockwise pulses arrive opposite the clockwise port
+	switch d.phase {
+	case phRootCensus:
+		d.rootCensus(isCW, e)
+	case phRootMarkers:
+		d.rootMarkers(isCW, e)
+	case phCensusWait:
+		d.censusWait(isCW, e)
+	case phCensusRelay:
+		d.censusRelay(isCW, e)
+	case phBroadcast:
+		d.broadcast(isCW, e)
+	case phSteady:
+		d.steady(isCW, e)
+	default:
+		d.fault("defective: pulse delivered in phase %d", d.phase)
+	}
+}
+
+// rootCensus: a counterclockwise ack closes the round; a clockwise arrival
+// is the round-n pulse returning, which fixes n.
+func (d *Node) rootCensus(isCW bool, e node.PulseEmitter) {
+	if !isCW {
+		d.rounds++
+		d.sendCW(e)
+		return
+	}
+	d.n = d.rounds
+	d.index = 0
+	d.phase = phRootMarkers
+	d.sendCCW(e)
+	d.sendCCW(e)
+}
+
+// rootMarkers: absorb the two census markers, then open frame 0 by
+// broadcasting n.
+func (d *Node) rootMarkers(isCW bool, e node.PulseEmitter) {
+	if isCW {
+		d.fault("defective: root got clockwise pulse while draining census markers")
+		return
+	}
+	d.markersIn++
+	if d.markersIn < 2 {
+		return
+	}
+	d.phase = phSteady
+	d.startApp(e)
+	d.beginFrameZero(e)
+}
+
+// beginFrameZero: the root holds frame 0 with value n.
+func (d *Node) beginFrameZero(e node.PulseEmitter) {
+	d.holding = true
+	d.markerOut = false
+	d.holderGot = 0
+	d.holderVal = uint64(d.n)
+	for i := uint64(0); i <= d.holderVal; i++ {
+		d.sendCW(e)
+	}
+}
+
+// censusWait: the first clockwise pulse counts this node.
+func (d *Node) censusWait(isCW bool, e node.PulseEmitter) {
+	if !isCW {
+		d.fault("defective: counterclockwise pulse before being counted")
+		return
+	}
+	d.sendCCW(e) // ack
+	d.phase = phCensusRelay
+}
+
+// censusRelay: relay rounds clockwise and acks counterclockwise; two
+// counterclockwise arrivals in a row are the census end markers.
+func (d *Node) censusRelay(isCW bool, e node.PulseEmitter) {
+	if isCW {
+		d.lastWasCCW = false
+		d.sendCW(e)
+		return
+	}
+	d.ccwSeen++
+	d.sendCCW(e)
+	if d.lastWasCCW {
+		// Second marker: census over. Acks relayed = ccwSeen - 2.
+		d.phase = phBroadcast
+		d.cwData = 0
+		return
+	}
+	d.lastWasCCW = true
+}
+
+// broadcast: count frame 0's data; its marker reveals n and hence the
+// node's own index.
+func (d *Node) broadcast(isCW bool, e node.PulseEmitter) {
+	if isCW {
+		d.cwData++
+		d.sendCW(e)
+		return
+	}
+	d.n = d.cwData - 1
+	if d.n < 1 {
+		d.fault("defective: broadcast frame decoded n=%d", d.n)
+		return
+	}
+	d.index = d.n - 1 - (d.ccwSeen - 2)
+	if d.index < 1 || d.index >= d.n {
+		d.fault("defective: derived index %d outside [1,%d)", d.index, d.n)
+		return
+	}
+	d.cwData = 0
+	d.observedFrames++
+	d.frameNum = 1
+	d.sendCCW(e) // forward frame 0's marker
+	d.phase = phSteady
+	d.startApp(e)
+	d.maybeHold(e)
+}
+
+func (d *Node) startApp(e node.PulseEmitter) {
+	if d.started {
+		return
+	}
+	d.started = true
+	d.app.Start(apiShim{d: d})
+}
+
+// steady: the turn-based frame protocol.
+func (d *Node) steady(isCW bool, e node.PulseEmitter) {
+	if isCW {
+		if d.holding && !d.markerOut {
+			// Own data returning.
+			d.holderGot++
+			if uint64(d.holderGot) == d.holderVal+1 {
+				d.markerOut = true
+				d.sendCCW(e)
+			}
+			return
+		}
+		// Someone else's frame data (possibly arriving before the previous
+		// marker finished its loop back to us as the old holder).
+		d.cwData++
+		d.sendCW(e)
+		return
+	}
+	// Counterclockwise: a frame marker.
+	if d.holding && d.markerOut {
+		// Our own marker returned: our frame is complete everywhere.
+		d.holding = false
+		d.markerOut = false
+		val := d.holderVal
+		d.observedFrames++
+		if d.frameNum > 0 {
+			// Frame 0 is the n-broadcast, a layer-control frame that must
+			// never be decoded as an application message (its value n
+			// would read as HALT for n=1 or as a spurious message).
+			d.processFrame(d.frameNum%d.n, val, e)
+		}
+		d.frameNum++
+		if d.phase == phDone {
+			return
+		}
+		d.maybeHold(e)
+		return
+	}
+	// A passing marker closes the pending frame.
+	val := uint64(0)
+	if d.cwData > 0 {
+		val = uint64(d.cwData - 1)
+	} else {
+		d.fault("defective: marker with no frame data (frame %d)", d.frameNum)
+		return
+	}
+	d.cwData = 0
+	d.observedFrames++
+	d.sendCCW(e) // forward the marker before acting on the frame
+	d.processFrame(d.frameNum%d.n, val, e)
+	d.frameNum++
+	if d.phase == phDone {
+		return
+	}
+	d.maybeHold(e)
+}
+
+// FrameObserver is an optional App extension: OnFrame fires at EVERY node
+// for EVERY completed frame (including passes, value 0, and HALT, value
+// 1), in frame order. The layer is physically a broadcast medium — every
+// node counts every frame's pulses — and observers get that full view.
+// One sound use: detecting the simulated algorithm's quiescence, since a
+// full rotation of n consecutive pass frames proves no node had anything
+// queued and nothing was delivered meanwhile (see Adapter).
+type FrameObserver interface {
+	OnFrame(owner int, value uint64, api API)
+}
+
+// processFrame interprets a completed frame from owner with value val.
+func (d *Node) processFrame(owner int, val uint64, e node.PulseEmitter) {
+	if fo, ok := d.app.(FrameObserver); ok {
+		fo.OnFrame(owner, val, apiShim{d: d})
+	}
+	switch val {
+	case framePass:
+		return
+	case frameHalt:
+		d.phase = phDone
+		return
+	}
+	to, payload, ok := DecodeFrame(val)
+	if !ok {
+		d.fault("defective: undecodable frame value %d", val)
+		return
+	}
+	// The message is addressed to owner's neighbor in direction `to`; we
+	// receive it iff that neighbor is us.
+	var receiver int
+	if to == ToCW {
+		receiver = (owner + 1) % d.n
+	} else {
+		receiver = (owner - 1 + d.n) % d.n
+	}
+	if receiver != d.index {
+		return
+	}
+	from := ToCCW // message from our counterclockwise neighbor
+	if to == ToCCW {
+		from = ToCW
+	}
+	d.deliveredMsgs++
+	d.app.Deliver(from, payload, apiShim{d: d})
+}
+
+// maybeHold starts this node's frame when its turn comes.
+func (d *Node) maybeHold(e node.PulseEmitter) {
+	if d.phase == phDone || d.holding || d.frameNum%d.n != d.index {
+		return
+	}
+	d.holding = true
+	d.markerOut = false
+	d.holderGot = 0
+	switch {
+	case len(d.outQ) > 0:
+		d.holderVal = d.outQ[0]
+		d.outQ = d.outQ[1:]
+		d.sentFrames++
+	case d.wantHalt:
+		d.holderVal = frameHalt
+	default:
+		d.holderVal = framePass
+	}
+	for i := uint64(0); i <= d.holderVal; i++ {
+		d.sendCW(e)
+	}
+}
+
+// apiShim exposes the layer to the App.
+type apiShim struct{ d *Node }
+
+// Send implements API.
+func (a apiShim) Send(to Dir, payload uint64) {
+	a.d.outQ = append(a.d.outQ, EncodeFrame(to, payload))
+}
+
+// Halt implements API.
+func (a apiShim) Halt() { a.d.wantHalt = true }
+
+// N implements API.
+func (a apiShim) N() int { return a.d.n }
+
+// Index implements API.
+func (a apiShim) Index() int { return a.d.index }
+
+// PredictedSetupPulses is the exact pulse cost of census plus the
+// n-broadcast frame: (n^2 + 2n) + ((n+1)n + n) = 2n^2 + 4n.
+func PredictedSetupPulses(n int) uint64 {
+	un := uint64(n)
+	return 2*un*un + 4*un
+}
+
+// FramePulses is the exact pulse cost of one frame with value v:
+// (v+1) data pulses traversing all n channels plus the n-hop marker.
+func FramePulses(n int, v uint64) uint64 {
+	return (v+1)*uint64(n) + uint64(n)
+}

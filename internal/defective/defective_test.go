@@ -1,0 +1,381 @@
+package defective_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coleader/internal/defective"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// haltApp is the minimal application: the root halts the layer as soon as
+// its first turn after setup comes around.
+type haltApp struct{ started bool }
+
+func (h *haltApp) Start(api defective.API) {
+	h.started = true
+	if api.Index() == 0 {
+		api.Halt()
+	}
+}
+
+func (h *haltApp) Deliver(defective.Dir, uint64, defective.API) {}
+
+// buildLayer constructs a defective layer rooted at node 0 on an oriented
+// ring of n nodes, one app per node from mk.
+func buildLayer(t *testing.T, n int, mk func(k int) defective.App) (ring.Topology, []node.PulseMachine) {
+	t.Helper()
+	topo, err := ring.Oriented(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]node.PulseMachine, n)
+	for k := 0; k < n; k++ {
+		m, err := defective.NewNode(k == 0, topo.CWPort(k), mk(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[k] = m
+	}
+	return topo, ms
+}
+
+// TestLayerIdentity: census + broadcast give every node the correct n and
+// index, with the exact predicted pulse cost.
+func TestLayerIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 12} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			apps := make([]*haltApp, n)
+			topo, ms := buildLayer(t, n, func(k int) defective.App {
+				apps[k] = &haltApp{}
+				return apps[k]
+			})
+			s, err := sim.New(topo, ms, sim.NewRandom(int64(n)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(1 << 22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Quiescent || !res.AllTerminated {
+				t.Fatalf("quiescent=%t terminated=%t", res.Quiescent, res.AllTerminated)
+			}
+			for k := 0; k < n; k++ {
+				d := s.Machine(k).(*defective.Node)
+				if d.N() != n || d.Index() != k {
+					t.Errorf("node %d: learned (n=%d, index=%d)", k, d.N(), d.Index())
+				}
+				if !apps[k].started {
+					t.Errorf("node %d: app never started", k)
+				}
+			}
+			// Exact cost: setup (2n^2+4n) + n-1 pass frames (2n each) +
+			// one HALT frame (3n).
+			want := defective.PredictedSetupPulses(n) +
+				uint64(n-1)*defective.FramePulses(n, 0) +
+				defective.FramePulses(n, 1)
+			if res.Sent != want {
+				t.Errorf("pulses = %d, want exactly %d", res.Sent, want)
+			}
+			// The root (the HALT holder) terminates last.
+			if last := res.TerminationOrder[n-1]; last != 0 {
+				t.Errorf("last to terminate = %d, want root 0", last)
+			}
+		})
+	}
+}
+
+// TestLayerIdentityAllSchedulers: identity derivation is schedule-
+// independent.
+func TestLayerIdentityAllSchedulers(t *testing.T) {
+	const n = 5
+	for name, sched := range sim.Stock(17) {
+		sched := sched
+		t.Run(name, func(t *testing.T) {
+			topo, ms := buildLayer(t, n, func(int) defective.App { return &haltApp{} })
+			s, err := sim.New(topo, ms, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(1 << 22); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < n; k++ {
+				d := s.Machine(k).(*defective.Node)
+				if d.N() != n || d.Index() != k {
+					t.Errorf("node %d learned (n=%d, index=%d)", k, d.N(), d.Index())
+				}
+			}
+		})
+	}
+}
+
+// TestRingMaxOverDefective: max-consensus over the pulse-only transport
+// yields the true maximum at every node.
+func TestRingMaxOverDefective(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + rng.Intn(8)
+		inputs := make([]uint64, n)
+		var max uint64
+		for i := range inputs {
+			inputs[i] = uint64(rng.Intn(50))
+			if inputs[i] > max {
+				max = inputs[i]
+			}
+		}
+		apps := make([]*defective.RingMax, n)
+		topo, ms := buildLayer(t, n, func(k int) defective.App {
+			apps[k] = defective.NewRingMax(inputs[k])
+			return apps[k]
+		})
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(1 << 24)
+		if err != nil {
+			t.Fatalf("trial %d (inputs=%v): %v", trial, inputs, err)
+		}
+		if !res.Quiescent || !res.AllTerminated {
+			t.Fatalf("trial %d: quiescent=%t terminated=%t", trial, res.Quiescent, res.AllTerminated)
+		}
+		for k, app := range apps {
+			if !app.Done() || app.Result() != max {
+				t.Errorf("trial %d node %d: done=%t result=%d, want %d (inputs=%v)",
+					trial, k, app.Done(), app.Result(), max, inputs)
+			}
+		}
+	}
+}
+
+// TestRingSumOverDefective: the counterclockwise-direction app computes the
+// exact sum everywhere.
+func TestRingSumOverDefective(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(6)
+		inputs := make([]uint64, n)
+		var sum uint64
+		for i := range inputs {
+			inputs[i] = uint64(rng.Intn(9))
+			sum += inputs[i]
+		}
+		apps := make([]*defective.RingSum, n)
+		topo, ms := buildLayer(t, n, func(k int) defective.App {
+			apps[k] = defective.NewRingSum(inputs[k])
+			return apps[k]
+		})
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(1 << 24); err != nil {
+			t.Fatalf("trial %d (inputs=%v): %v", trial, inputs, err)
+		}
+		for k, app := range apps {
+			if !app.Done() || app.Result() != sum {
+				t.Errorf("trial %d node %d: result=%d, want %d (inputs=%v)",
+					trial, k, app.Result(), sum, inputs)
+			}
+		}
+	}
+}
+
+// TestRingCROverDefective: Chang–Roberts running over pulses elects the
+// maximal application-level ID.
+func TestRingCROverDefective(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(5)
+		ids := ring.PermutedIDs(n, rng)
+		apps := make([]*defective.RingCR, n)
+		topo, ms := buildLayer(t, n, func(k int) defective.App {
+			apps[k] = defective.NewRingCR(ids[k])
+			return apps[k]
+		})
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(1 << 24); err != nil {
+			t.Fatalf("trial %d (ids=%v): %v", trial, ids, err)
+		}
+		wantIdx, _ := ring.MaxIndex(ids)
+		for k, app := range apps {
+			if k == wantIdx {
+				if !app.Leader() {
+					t.Errorf("trial %d: node %d (max id %d) not leader", trial, k, ids[k])
+				}
+				continue
+			}
+			if app.Leader() {
+				t.Errorf("trial %d: node %d wrongly leader", trial, k)
+			}
+			if !app.Decided() || app.LeaderID() != ring.MaxID(ids) {
+				t.Errorf("trial %d node %d: decided=%t leaderID=%d, want %d",
+					trial, k, app.Decided(), app.LeaderID(), ring.MaxID(ids))
+			}
+		}
+	}
+}
+
+// TestComposedCorollary5 is the headline end-to-end test: from nothing but
+// unique IDs on an oriented fully defective ring, Algorithm 2 elects a
+// leader, the composition switches every node into the defective layer
+// rooted at that leader, and an arbitrary content-carrying algorithm
+// (max-consensus over fresh inputs) runs to completion. All over pulses.
+func TestComposedCorollary5(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(7)
+		ids := ring.PermutedIDs(n, rng)
+		inputs := make([]uint64, n)
+		var max uint64
+		for i := range inputs {
+			inputs[i] = uint64(rng.Intn(40))
+			if inputs[i] > max {
+				max = inputs[i]
+			}
+		}
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps := make([]*defective.RingMax, n)
+		ms := make([]node.PulseMachine, n)
+		for k := 0; k < n; k++ {
+			apps[k] = defective.NewRingMax(inputs[k])
+			m, err := defective.NewComposed(ids[k], topo.CWPort(k), apps[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms[k] = m
+		}
+		s, err := sim.New(topo, ms, sim.NewRandom(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(1 << 24)
+		if err != nil {
+			t.Fatalf("trial %d (ids=%v): %v", trial, ids, err)
+		}
+		if !res.Quiescent || !res.AllTerminated {
+			t.Fatalf("trial %d: quiescent=%t terminated=%t", trial, res.Quiescent, res.AllTerminated)
+		}
+		// The transport-level leader is the max-ID node.
+		wantLeader, _ := ring.MaxIndex(ids)
+		if res.Leader != wantLeader {
+			t.Errorf("trial %d: leader %d, want %d", trial, res.Leader, wantLeader)
+		}
+		// The layer's indices are clockwise distances from the leader.
+		for k := 0; k < n; k++ {
+			c := s.Machine(k).(*defective.Composed)
+			wantIdx := ((k-wantLeader)%n + n) % n
+			if got := c.Layer().Index(); got != wantIdx {
+				t.Errorf("trial %d node %d: layer index %d, want %d", trial, k, got, wantIdx)
+			}
+		}
+		// And the simulated algorithm computed the right answer everywhere.
+		for k, app := range apps {
+			if !app.Done() || app.Result() != max {
+				t.Errorf("trial %d node %d: result=%d done=%t, want %d",
+					trial, k, app.Result(), app.Done(), max)
+			}
+		}
+	}
+}
+
+// TestComposedAllSchedulers: the composition is schedule-independent.
+func TestComposedAllSchedulers(t *testing.T) {
+	ids := []uint64{3, 5, 1, 4}
+	inputs := []uint64{9, 2, 14, 7}
+	topo, err := ring.Oriented(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sched := range sim.Stock(29) {
+		sched := sched
+		t.Run(name, func(t *testing.T) {
+			apps := make([]*defective.RingMax, 4)
+			ms := make([]node.PulseMachine, 4)
+			for k := range ms {
+				apps[k] = defective.NewRingMax(inputs[k])
+				m, err := defective.NewComposed(ids[k], topo.CWPort(k), apps[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms[k] = m
+			}
+			s, err := sim.New(topo, ms, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(1 << 24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Leader != 1 {
+				t.Errorf("leader %d, want 1", res.Leader)
+			}
+			for k, app := range apps {
+				if app.Result() != 14 {
+					t.Errorf("node %d result %d, want 14", k, app.Result())
+				}
+			}
+		})
+	}
+}
+
+// TestFrameCodec: EncodeFrame/DecodeFrame round-trip, and control values
+// stay undecodable.
+func TestFrameCodec(t *testing.T) {
+	prop := func(payload uint64, toCCW bool) bool {
+		payload %= 1 << 60
+		to := defective.ToCW
+		if toCCW {
+			to = defective.ToCCW
+		}
+		v := defective.EncodeFrame(to, payload)
+		gotTo, gotPayload, ok := defective.DecodeFrame(v)
+		return ok && gotTo == to && gotPayload == payload && v >= 2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []uint64{0, 1} {
+		if _, _, ok := defective.DecodeFrame(v); ok {
+			t.Errorf("control value %d decoded as message", v)
+		}
+	}
+}
+
+// TestNewNodeValidation covers constructor validation.
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := defective.NewNode(true, pulse.Port1, nil); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := defective.NewNode(true, pulse.Port(7), &haltApp{}); err == nil {
+		t.Error("invalid port accepted")
+	}
+	if _, err := defective.NewComposed(0, pulse.Port1, &haltApp{}); err == nil {
+		t.Error("zero ID accepted")
+	}
+	if _, err := defective.NewComposed(1, pulse.Port1, nil); err == nil {
+		t.Error("nil app accepted by NewComposed")
+	}
+}
+
+// TestDirString covers Dir naming.
+func TestDirString(t *testing.T) {
+	if defective.ToCW.String() != "cw" || defective.ToCCW.String() != "ccw" {
+		t.Error("Dir.String broken")
+	}
+}

@@ -1,0 +1,45 @@
+package defective_test
+
+import (
+	"fmt"
+
+	"coleader/internal/defective"
+	"coleader/internal/node"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// Corollary 5 in one screen: elect with Algorithm 2, switch into the
+// universal layer, compute a max over the fully defective ring.
+func ExampleNewComposed() {
+	ids := []uint64{3, 9, 5}
+	inputs := []uint64{10, 4, 25}
+	topo, _ := ring.Oriented(len(ids))
+	apps := make([]*defective.RingMax, len(ids))
+	ms := make([]node.PulseMachine, len(ids))
+	for k := range ms {
+		apps[k] = defective.NewRingMax(inputs[k])
+		m, err := defective.NewComposed(ids[k], topo.CWPort(k), apps[k])
+		if err != nil {
+			panic(err)
+		}
+		ms[k] = m
+	}
+	s, _ := sim.New(topo, ms, sim.Canonical{})
+	res, err := s.Run(1 << 22)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("transport leader: node %d; every node learned max = %d %d %d\n",
+		res.Leader, apps[0].Result(), apps[1].Result(), apps[2].Result())
+	// Output: transport leader: node 1; every node learned max = 25 25 25
+}
+
+// Frame values encode (direction, payload) pairs above two reserved
+// control values.
+func ExampleEncodeFrame() {
+	v := defective.EncodeFrame(defective.ToCCW, 21)
+	to, payload, ok := defective.DecodeFrame(v)
+	fmt.Println(v, to, payload, ok)
+	// Output: 45 ccw 21 true
+}

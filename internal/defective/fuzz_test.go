@@ -1,0 +1,60 @@
+package defective_test
+
+import (
+	"testing"
+
+	"coleader/internal/defective"
+)
+
+// FuzzChunkAssembler feeds arbitrary payload streams into the chunk
+// reassembly path through a live adapter: it must never panic, and every
+// accepted stream must be a valid prefix of legal chunk traffic.
+func FuzzChunkAssembler(f *testing.F) {
+	f.Add([]byte{3, 0, 2, 4})
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 254, 253, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		capture := &captureMachine{}
+		ad, err := defective.NewAdapter[uint64](capture,
+			func(x uint64) uint64 { return x },
+			func(x uint64) (uint64, error) { return x, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		api := &fakeAPI{n: 3}
+		for _, bb := range raw {
+			if ad.Err() != nil {
+				break // adapter latched a fault; later chunks are moot
+			}
+			ad.Deliver(defective.ToCW, uint64(bb), api)
+		}
+		// No assertion beyond "no panic" and the latched-error contract:
+		// once Err is set, no further deliveries reach the inner machine.
+		if ad.Err() != nil && len(capture.got) > len(raw) {
+			t.Fatal("deliveries after fault")
+		}
+	})
+}
+
+// FuzzFrameCodec: DecodeFrame(EncodeFrame(x)) == x and control values are
+// never produced by EncodeFrame.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add(uint64(0), false)
+	f.Add(uint64(1<<62), true)
+	f.Fuzz(func(t *testing.T, payload uint64, ccw bool) {
+		payload &= 1<<62 - 1
+		to := defective.ToCW
+		if ccw {
+			to = defective.ToCCW
+		}
+		v := defective.EncodeFrame(to, payload)
+		if v < 2 {
+			t.Fatalf("EncodeFrame produced control value %d", v)
+		}
+		gotTo, gotPayload, ok := defective.DecodeFrame(v)
+		if !ok || gotTo != to || gotPayload != payload {
+			t.Fatalf("roundtrip (%v,%d) -> %d -> (%v,%d,%t)", to, payload, v, gotTo, gotPayload, ok)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+// Package differential cross-validates the repository's runtimes: the same
+// algorithm instance runs on the deterministic simulator under several
+// schedulers AND on the goroutine-per-node live runtime, and the outcomes
+// are compared field by field. The theorems make the comparison sharp:
+// leader identity and total pulse counts are schedule-invariant, so any
+// disagreement between runtimes is a bug in a runtime, not an artifact of
+// asynchrony.
+package differential
+
+import (
+	"fmt"
+
+	"coleader/internal/live"
+	"coleader/internal/node"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// Outcome is the runtime-independent projection of a run that the
+// theorems pin down exactly.
+type Outcome struct {
+	Leader        int
+	Leaders       []int
+	Sent          uint64
+	SentCW        uint64
+	SentCCW       uint64
+	Quiescent     bool
+	AllTerminated bool
+}
+
+// String renders the outcome compactly for mismatch reports.
+func (o Outcome) String() string {
+	return fmt.Sprintf("leader=%d leaders=%v sent=%d (cw=%d ccw=%d) quiescent=%t terminated=%t",
+		o.Leader, o.Leaders, o.Sent, o.SentCW, o.SentCCW, o.Quiescent, o.AllTerminated)
+}
+
+// Equal reports field-wise equality.
+func (o Outcome) Equal(p Outcome) bool {
+	if o.Leader != p.Leader || o.Sent != p.Sent || o.SentCW != p.SentCW ||
+		o.SentCCW != p.SentCCW || o.Quiescent != p.Quiescent ||
+		o.AllTerminated != p.AllTerminated || len(o.Leaders) != len(p.Leaders) {
+		return false
+	}
+	for i := range o.Leaders {
+		if o.Leaders[i] != p.Leaders[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Config describes one differential comparison.
+type Config struct {
+	// Topo is the ring under test.
+	Topo ring.Topology
+	// NewMachines returns fresh machines; it is called once per runtime,
+	// so machines must be deterministic given their construction.
+	NewMachines func() ([]node.PulseMachine, error)
+	// Limit bounds simulator deliveries.
+	Limit uint64
+	// Seeds are the scheduler seeds to sweep on the simulator.
+	Seeds []int64
+	// LiveRuns is how many times to execute on the goroutine runtime
+	// (each run gets fresh machines and a fresh Go-scheduler interleaving).
+	LiveRuns int
+}
+
+// Run executes the instance on every runtime and returns the common
+// outcome, or an error naming the first disagreement.
+func Run(cfg Config) (Outcome, error) {
+	if cfg.NewMachines == nil {
+		return Outcome{}, fmt.Errorf("differential: nil NewMachines")
+	}
+	if cfg.Limit == 0 {
+		cfg.Limit = 1 << 24
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []int64{1, 2, 3}
+	}
+	var ref Outcome
+	have := false
+
+	note := func(label string, o Outcome) error {
+		if !have {
+			ref, have = o, true
+			return nil
+		}
+		if !o.Equal(ref) {
+			return fmt.Errorf("differential: %s disagrees:\n  ref: %s\n  got: %s", label, ref, o)
+		}
+		return nil
+	}
+
+	// Simulator, sweeping schedulers and seeds.
+	for _, seed := range cfg.Seeds {
+		for name, sched := range sim.Stock(seed) {
+			ms, err := cfg.NewMachines()
+			if err != nil {
+				return Outcome{}, err
+			}
+			s, err := sim.New(cfg.Topo, ms, sched)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res, err := s.Run(cfg.Limit)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("differential: sim/%s seed %d: %w", name, seed, err)
+			}
+			o := Outcome{
+				Leader: res.Leader, Leaders: res.Leaders,
+				Sent: res.Sent, SentCW: res.SentCW, SentCCW: res.SentCCW,
+				Quiescent: res.Quiescent, AllTerminated: res.AllTerminated,
+			}
+			if err := note(fmt.Sprintf("sim/%s seed %d", name, seed), o); err != nil {
+				return ref, err
+			}
+		}
+	}
+
+	// Live runtime.
+	for i := 0; i < cfg.LiveRuns; i++ {
+		ms, err := cfg.NewMachines()
+		if err != nil {
+			return Outcome{}, err
+		}
+		res, err := live.Run(cfg.Topo, ms)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("differential: live run %d: %w", i, err)
+		}
+		o := Outcome{
+			Leader: res.Leader, Leaders: res.Leaders,
+			Sent: res.Sent, SentCW: res.SentCW, SentCCW: res.SentCCW,
+			Quiescent: res.Quiescent, AllTerminated: res.AllTerminated,
+		}
+		if err := note(fmt.Sprintf("live run %d", i), o); err != nil {
+			return ref, err
+		}
+	}
+	return ref, nil
+}

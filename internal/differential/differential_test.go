@@ -1,0 +1,147 @@
+package differential_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/differential"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// TestAlg2AcrossRuntimes: Theorem 1's outcome is identical across the
+// deterministic simulator (all schedulers, several seeds) and the
+// goroutine runtime, for a spread of rings.
+func TestAlg2AcrossRuntimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 6; trial++ {
+		n := 1 + rng.Intn(8)
+		ids := ring.PermutedIDs(n, rng)
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := differential.Run(differential.Config{
+			Topo:        topo,
+			NewMachines: func() ([]node.PulseMachine, error) { return core.Alg2Machines(topo, ids) },
+			Seeds:       []int64{1, 7},
+			LiveRuns:    3,
+		})
+		if err != nil {
+			t.Fatalf("trial %d ids %v: %v", trial, ids, err)
+		}
+		wantLeader, _ := ring.MaxIndex(ids)
+		if out.Leader != wantLeader {
+			t.Errorf("trial %d: leader %d, want %d", trial, out.Leader, wantLeader)
+		}
+		if out.Sent != core.PredictedAlg2Pulses(n, ring.MaxID(ids)) {
+			t.Errorf("trial %d: sent %d", trial, out.Sent)
+		}
+		if !out.AllTerminated || !out.Quiescent {
+			t.Errorf("trial %d: %s", trial, out)
+		}
+	}
+}
+
+// TestAlg3AcrossRuntimes: the non-oriented algorithm agrees across
+// runtimes too (it stabilizes instead of terminating).
+func TestAlg3AcrossRuntimes(t *testing.T) {
+	ids := []uint64{4, 8, 1, 6}
+	topo, err := ring.NonOriented([]bool{true, false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := differential.Run(differential.Config{
+		Topo: topo,
+		NewMachines: func() ([]node.PulseMachine, error) {
+			return core.Alg3Machines(4, ids, core.SchemeSuccessor)
+		},
+		Seeds:    []int64{3},
+		LiveRuns: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != 1 || out.AllTerminated {
+		t.Errorf("outcome: %s", out)
+	}
+}
+
+// TestDisagreementDetected: a machine whose behavior depends on the
+// schedule (it counts its own deliveries and inflates traffic on one
+// port order) must be flagged as a runtime disagreement.
+func TestDisagreementDetected(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = differential.Run(differential.Config{
+		Topo: topo,
+		NewMachines: func() ([]node.PulseMachine, error) {
+			return []node.PulseMachine{&scheduleSensitive{}, &scheduleSensitive{}}, nil
+		},
+		Seeds: []int64{1, 2, 3, 4},
+	})
+	if err == nil {
+		t.Fatal("schedule-dependent totals not flagged")
+	}
+	if !strings.Contains(err.Error(), "disagrees") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// scheduleSensitive sends an extra pulse iff its FIRST arrival comes on
+// Port1 (the counterclockwise traffic winning the race) — a deliberately
+// schedule-dependent total: cw-first and ccw-first schedulers resolve the
+// race differently.
+type scheduleSensitive struct {
+	got   []pulse.Port
+	extra bool
+}
+
+func (sc *scheduleSensitive) Init(e node.PulseEmitter) {
+	e.Send(pulse.Port0, pulse.Pulse{})
+	e.Send(pulse.Port1, pulse.Pulse{})
+}
+
+func (sc *scheduleSensitive) OnMsg(p pulse.Port, _ pulse.Pulse, e node.PulseEmitter) {
+	sc.got = append(sc.got, p)
+	if len(sc.got) == 1 && p == pulse.Port1 && !sc.extra {
+		sc.extra = true
+		e.Send(pulse.Port0, pulse.Pulse{})
+	}
+}
+
+func (sc *scheduleSensitive) Ready(pulse.Port) bool { return true }
+func (sc *scheduleSensitive) Status() node.Status   { return node.Status{} }
+
+// TestConfigValidation covers defaults and validation.
+func TestConfigValidation(t *testing.T) {
+	if _, err := differential.Run(differential.Config{}); err == nil {
+		t.Error("nil NewMachines accepted")
+	}
+}
+
+// TestOutcomeEqual covers the comparison itself.
+func TestOutcomeEqual(t *testing.T) {
+	a := differential.Outcome{Leader: 1, Leaders: []int{1}, Sent: 10, Quiescent: true}
+	if !a.Equal(a) {
+		t.Error("self-inequality")
+	}
+	b := a
+	b.Sent = 11
+	if a.Equal(b) {
+		t.Error("differing Sent compared equal")
+	}
+	c := a
+	c.Leaders = []int{2}
+	if a.Equal(c) {
+		t.Error("differing Leaders compared equal")
+	}
+	if !strings.Contains(a.String(), "leader=1") {
+		t.Error("String() malformed")
+	}
+}

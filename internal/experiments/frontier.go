@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coleader/internal/baseline"
+	"coleader/internal/core"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/stats"
+)
+
+// E11 probes the knowledge frontier around Theorem 3. Itai and Rodeh
+// proved anonymous rings cannot compute n by a terminating algorithm, so
+// terminating anonymous election is impossible — unless n is known, in
+// which case their own randomized algorithm terminates. The paper's
+// anonymous election (Algorithm 4 + Algorithm 3) assumes NO knowledge of n
+// and, matching the impossibility exactly, only reaches quiescence. This
+// experiment runs both on the same anonymous rings: content-carrying
+// Itai–Rodeh with known n (terminating, message-efficient) against the
+// content-oblivious pipeline with unknown n (quiescently stabilizing,
+// pulse costs driven by the sampled ID_max).
+func E11(seed int64) ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"E11 — the knowledge frontier: Itai–Rodeh (content + known n, terminating) vs Algorithm 4+3 (pulses, no knowledge, stabilizing)",
+		"n", "trials",
+		"IR one leader", "IR terminated", "IR mean msgs",
+		"CO one leader", "CO terminated", "CO mean pulses")
+	for _, n := range []int{2, 4, 8, 16} {
+		const trials = 25
+		irLeaders, irTerm, coLeaders, coTerm := 0, 0, 0, 0
+		var irMsgs, coPulses []float64
+		ran := 0
+		for i := 0; i < trials; i++ {
+			// --- Itai–Rodeh, content-carrying, n known.
+			topo, err := ring.Oriented(n)
+			if err != nil {
+				return nil, err
+			}
+			ports := make([]pulse.Port, n)
+			for k := range ports {
+				ports[k] = topo.CWPort(k)
+			}
+			irMS, err := baseline.ItaiRodehMachines(n, ports, seed+int64(i*31))
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(topo, irMS, sim.NewRandom(seed+int64(i)))
+			if err != nil {
+				return nil, err
+			}
+			irRes, err := s.Run(1 << 22)
+			if err != nil {
+				return nil, fmt.Errorf("E11 IR n=%d trial %d: %w", n, i, err)
+			}
+			if len(irRes.Leaders) == 1 {
+				irLeaders++
+			}
+			if irRes.AllTerminated {
+				irTerm++
+			}
+			irMsgs = append(irMsgs, float64(irRes.Sent))
+
+			// --- The paper's pipeline, content-oblivious, n unknown.
+			idRng := rand.New(rand.NewSource(seed + int64(i*17)))
+			ids := core.SampleIDs(idRng, n, 1.0)
+			pred := core.PredictedAlg3Pulses(n, ring.MaxID(ids), core.SchemeSuccessor)
+			if pred > 2_000_000 {
+				continue // heavy-tail draw; cost behavior covered in E3a
+			}
+			ran++
+			topo2, err := ring.RandomNonOriented(n, idRng)
+			if err != nil {
+				return nil, err
+			}
+			coMS, err := core.Alg3Machines(n, ids, core.SchemeSuccessor)
+			if err != nil {
+				return nil, err
+			}
+			s2, err := sim.New(topo2, coMS, sim.NewRandom(seed+int64(i)))
+			if err != nil {
+				return nil, err
+			}
+			coRes, err := s2.Run(4*pred + 1024)
+			if err != nil {
+				return nil, fmt.Errorf("E11 CO n=%d trial %d: %w", n, i, err)
+			}
+			if len(coRes.Leaders) == 1 {
+				coLeaders++
+			}
+			if coRes.AllTerminated {
+				coTerm++
+			}
+			coPulses = append(coPulses, float64(coRes.Sent))
+		}
+		t.AddRow(n, trials,
+			fmt.Sprintf("%d/%d", irLeaders, trials), fmt.Sprintf("%d/%d", irTerm, trials),
+			stats.Summarize(irMsgs).Mean,
+			fmt.Sprintf("%d/%d", coLeaders, ran), fmt.Sprintf("%d/%d", coTerm, ran),
+			stats.Summarize(coPulses).Mean)
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/stats"
+)
+
+// E10 measures the gap the paper's quiescent-stabilization notion lives
+// in: for the non-terminating algorithms (1 and 3), the global output is
+// already final well before the network goes quiet, and the nodes have no
+// way to tell — Section 3.1: "nodes do not terminate since they do not
+// know whether the ring has achieved this quiescent state". The table
+// reports, per run, the step at which the last node's election state
+// changed for the last time (stabilization) against the step of the last
+// delivery (quiescence), and the fraction of the run spent churning
+// pulses after the answer was already settled.
+func E10(seed int64) ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"E10 — stabilization vs quiescence for the non-terminating algorithms",
+		"algorithm", "n", "ID_max", "scheduler", "stabilized at step", "quiescent at step", "post-answer churn")
+	rng := rand.New(rand.NewSource(seed))
+	for _, algo := range []string{"alg1", "alg3"} {
+		for _, n := range []int{4, 16, 64} {
+			ids := ring.PermutedIDs(n, rng)
+			idMax := ring.MaxID(ids)
+			for _, schedName := range []string{"canonical", "random", "newest"} {
+				sched := sim.Stock(seed)[schedName]
+				var (
+					topo ring.Topology
+					ms   []node.PulseMachine
+					pred uint64
+					err  error
+				)
+				if algo == "alg1" {
+					topo, err = ring.Oriented(n)
+					if err != nil {
+						return nil, err
+					}
+					ms, err = core.Alg1Machines(topo, ids)
+					pred = core.PredictedAlg1Pulses(n, idMax)
+				} else {
+					topo, err = ring.RandomNonOriented(n, rng)
+					if err != nil {
+						return nil, err
+					}
+					ms, err = core.Alg3Machines(n, ids, core.SchemeSuccessor)
+					pred = core.PredictedAlg3Pulses(n, idMax, core.SchemeSuccessor)
+				}
+				if err != nil {
+					return nil, err
+				}
+				tl := newTimeline(n)
+				s, err := sim.New(topo, ms, sched, sim.WithObserver[pulse.Pulse](tl))
+				if err != nil {
+					return nil, err
+				}
+				if _, err := s.Run(4*pred + 1024); err != nil {
+					return nil, fmt.Errorf("E10 %s n=%d %s: %w", algo, n, schedName, err)
+				}
+				churn := 0.0
+				if tl.lastDelivery > 0 {
+					churn = float64(tl.lastDelivery-tl.lastChange) / float64(tl.lastDelivery)
+				}
+				t.AddRow(algo, n, idMax, schedName, tl.lastChange, tl.lastDelivery,
+					fmt.Sprintf("%.1f%%", 100*churn))
+			}
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// timeline records when node outputs last changed and when the last
+// delivery happened.
+type timeline struct {
+	prev         []node.Status
+	lastChange   uint64
+	lastDelivery uint64
+}
+
+func newTimeline(n int) *timeline { return &timeline{prev: make([]node.Status, n)} }
+
+// OnEvent implements sim.Observer.
+func (tl *timeline) OnEvent(e *sim.Event, s *sim.Sim[pulse.Pulse]) error {
+	if e.Kind == sim.EvDeliver {
+		tl.lastDelivery = e.Step
+	}
+	for k := range tl.prev {
+		st := s.Machine(k).Status()
+		if st.State != tl.prev[k].State ||
+			st.HasOrientation != tl.prev[k].HasOrientation ||
+			st.CWPort != tl.prev[k].CWPort {
+			tl.lastChange = e.Step
+			tl.prev[k] = st
+		}
+	}
+	return nil
+}

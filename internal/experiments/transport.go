@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coleader/internal/baseline"
+	"coleader/internal/defective"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/stats"
+)
+
+// E12 is the transport ablation for the universal-simulation substrate:
+// the chunk width of the adapter codec trades frames per message (narrow
+// digits mean more full turn rotations) against pulses per frame (the
+// unary encoding makes a frame's cost linear in its digit value, which is
+// exponential in the width — but packed protocol values are sparse, so
+// high-base digits are often tiny). The experiment runs Chang–Roberts over
+// the defective layer at every width and reports total pulses, frames, and
+// pulses per simulated message. This design dimension has no analogue in
+// the paper (whose own frames carry at most one unary value); it exists
+// because this repository's layer carries arbitrary payloads.
+func E12(seed int64) ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"E12 — transport ablation: chunk width vs cost (Chang–Roberts over the defective layer)",
+		"n", "chunk bits", "pulses", "frames seen", "chunks delivered", "pulses/chunk", "app leader ok")
+	for _, n := range []int{3, 5} {
+		ids := ring.PermutedIDs(n, rand.New(rand.NewSource(seed)))
+		maxIdx, _ := ring.MaxIndex(ids)
+		for _, bits := range []uint{1, 2, 4, 8, 12, 16} {
+			topo, err := ring.Oriented(n)
+			if err != nil {
+				return nil, err
+			}
+			dec := func(v uint64) (baseline.Msg, error) { return baseline.UnpackMsg(v) }
+			adapters := make([]*defective.Adapter[baseline.Msg], n)
+			layers := make([]*defective.Node, n)
+			ms := make([]node.PulseMachine, n)
+			for k := 0; k < n; k++ {
+				inner, err := baseline.New(baseline.AlgChangRoberts, ids[k], pulse.Port1)
+				if err != nil {
+					return nil, err
+				}
+				ad, err := defective.NewAdapterBits[baseline.Msg](inner, baseline.MustPackMsg, dec, bits)
+				if err != nil {
+					return nil, err
+				}
+				adapters[k] = ad
+				dn, err := defective.NewNode(k == 0, topo.CWPort(k), ad)
+				if err != nil {
+					return nil, err
+				}
+				layers[k] = dn
+				ms[k] = dn
+			}
+			s, err := sim.New(topo, ms, sim.NewRandom(seed+int64(bits)))
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Run(1 << 26)
+			if err != nil {
+				return nil, fmt.Errorf("E12 n=%d bits=%d: %w", n, bits, err)
+			}
+			ok := true
+			for k, ad := range adapters {
+				st := ad.Inner().Status()
+				if (st.State == node.StateLeader) != (k == maxIdx) || ad.Err() != nil {
+					ok = false
+				}
+			}
+			frames := layers[0].FramesObserved()
+			var delivered int
+			for _, l := range layers {
+				delivered += l.MessagesDelivered()
+			}
+			perChunk := "n/a"
+			if delivered > 0 {
+				perChunk = fmt.Sprintf("%.0f", float64(res.Sent)/float64(delivered))
+			}
+			t.AddRow(n, bits, res.Sent, frames, delivered, perChunk, boolMark(ok))
+		}
+	}
+	return []*stats.Table{t}, nil
+}

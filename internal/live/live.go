@@ -1,0 +1,332 @@
+// Package live executes pulse machines on a runtime made of real
+// concurrency: one goroutine per ring node, connected by unbounded FIFO
+// conduits. The Go scheduler supplies the asynchrony — message delays
+// become goroutine scheduling delays, unbounded but finite, exactly the
+// adversary of Section 2 — so this runtime complements the deterministic
+// simulator (internal/sim) with genuinely nondeterministic executions.
+//
+// Content-obliviousness is physical here: the conduits carry struct{}
+// values, so there is no content to consult even by accident.
+//
+// Quiescence detection uses a single conservation counter: every send
+// increments it and every fully processed delivery decrements it after the
+// handler (and its sends) completed. Pulses are created only inside
+// handlers, and a running handler keeps its own input pulse counted, so
+// once the counter reaches zero with all nodes initialized it can never
+// rise again: zero is a stable, race-free quiescence witness.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// ErrTimeout is returned when the network fails to quiesce within the
+// configured deadline.
+var ErrTimeout = errors.New("live: timed out waiting for quiescence")
+
+// Result summarizes a finished live run.
+type Result struct {
+	N                int
+	Sent             uint64
+	Delivered        uint64
+	SentCW           uint64
+	SentCCW          uint64
+	Quiescent        bool
+	AllTerminated    bool
+	Leader           int // unique leader index, or -1
+	Leaders          []int
+	Statuses         []node.Status
+	TerminationOrder []int
+}
+
+type config struct {
+	timeout time.Duration
+	poll    time.Duration
+	chaos   uint64 // 0 = off; otherwise a jitter seed
+}
+
+// Option configures Run.
+type Option func(*config)
+
+// WithTimeout bounds the whole run (default 10s).
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithPollInterval sets the quiescence-detector poll period (default 200µs).
+func WithPollInterval(d time.Duration) Option { return func(c *config) { c.poll = d } }
+
+// WithChaos makes every conduit inject pseudo-random scheduling jitter
+// (bursts of runtime.Gosched and occasional microsecond sleeps) before
+// each delivery, seeded per channel from seed. This widens the set of
+// interleavings the Go scheduler realizes — a cheap approximation of the
+// adversarial delays the model allows, on real concurrency.
+func WithChaos(seed int64) Option { return func(c *config) { c.chaos = uint64(seed) | 1 } }
+
+// Run executes the machines until quiescence (or until every node
+// terminates) and returns the outcome. Machines must not be reused across
+// runs.
+func Run(topo ring.Topology, machines []node.PulseMachine, opts ...Option) (Result, error) {
+	if len(machines) != topo.N() {
+		return Result{}, fmt.Errorf("live: %d machines for %d nodes", len(machines), topo.N())
+	}
+	cfg := config{timeout: 10 * time.Second, poll: 200 * time.Microsecond}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	n := topo.N()
+	r := &netRuntime{
+		topo:     topo,
+		machines: machines,
+		stop:     make(chan struct{}),
+		conduits: make([]*conduit, 2*n),
+	}
+	r.initsLeft.Store(int64(n))
+
+	// One conduit per directed channel, keyed by receiving endpoint.
+	for k := 0; k < n; k++ {
+		for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
+			c := 2*k + int(p)
+			var jitter uint64
+			if cfg.chaos != 0 {
+				jitter = cfg.chaos*0x9e3779b97f4a7c15 + uint64(c)
+			}
+			r.conduits[c] = newConduit(jitter)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for k := 0; k < n; k++ {
+		go r.nodeLoop(k, &wg)
+	}
+
+	// Monitor: wait for quiescence, then release the node goroutines.
+	deadline := time.NewTimer(cfg.timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(cfg.poll)
+	defer tick.Stop()
+
+	var timedOut bool
+monitor:
+	for {
+		select {
+		case <-tick.C:
+			if r.initsLeft.Load() == 0 && r.inflight.Load() == 0 {
+				break monitor
+			}
+		case <-deadline.C:
+			timedOut = true
+			break monitor
+		}
+	}
+	close(r.stop)
+	for _, c := range r.conduits {
+		c.close()
+	}
+	wg.Wait()
+
+	res := r.collect()
+	if timedOut {
+		return res, fmt.Errorf("%w: %d pulses unaccounted", ErrTimeout, r.inflight.Load())
+	}
+	return res, nil
+}
+
+type netRuntime struct {
+	topo      ring.Topology
+	machines  []node.PulseMachine
+	conduits  []*conduit
+	stop      chan struct{}
+	inflight  atomic.Int64
+	initsLeft atomic.Int64
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	sentCW    atomic.Uint64
+	sentCCW   atomic.Uint64
+
+	mu        sync.Mutex
+	termOrder []int
+}
+
+// emitter routes a node's sends into the appropriate conduits, maintaining
+// the conservation counter.
+type emitter struct {
+	r    *netRuntime
+	from int
+}
+
+// Send implements node.Emitter.
+func (e emitter) Send(p pulse.Port, m pulse.Pulse) {
+	to := e.r.topo.Peer(e.from, p)
+	e.r.inflight.Add(1)
+	e.r.sent.Add(1)
+	if e.r.topo.DirectionOf(e.from, p) == pulse.CW {
+		e.r.sentCW.Add(1)
+	} else {
+		e.r.sentCCW.Add(1)
+	}
+	e.r.conduits[2*to.Node+int(to.Port)].push()
+}
+
+func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	m := r.machines[k]
+	em := emitter{r: r, from: k}
+
+	m.Init(em)
+	r.initsLeft.Add(-1)
+
+	in0 := r.conduits[2*k+0]
+	in1 := r.conduits[2*k+1]
+	for {
+		st := m.Status()
+		if st.Terminated || st.Err != nil {
+			if st.Terminated {
+				r.mu.Lock()
+				r.termOrder = append(r.termOrder, k)
+				r.mu.Unlock()
+			}
+			return
+		}
+		// Gate each port by Ready: a nil channel is never selected, which
+		// realizes the model's "the node does not poll this queue".
+		var c0, c1 <-chan pulse.Pulse
+		if m.Ready(pulse.Port0) {
+			c0 = in0.out
+		}
+		if m.Ready(pulse.Port1) {
+			c1 = in1.out
+		}
+		select {
+		case <-r.stop:
+			return
+		case _, ok := <-c0:
+			if !ok {
+				return
+			}
+			m.OnMsg(pulse.Port0, pulse.Pulse{}, em)
+			r.delivered.Add(1)
+			r.inflight.Add(-1)
+		case _, ok := <-c1:
+			if !ok {
+				return
+			}
+			m.OnMsg(pulse.Port1, pulse.Pulse{}, em)
+			r.delivered.Add(1)
+			r.inflight.Add(-1)
+		}
+	}
+}
+
+func (r *netRuntime) collect() Result {
+	n := r.topo.N()
+	res := Result{
+		N:         n,
+		Sent:      r.sent.Load(),
+		Delivered: r.delivered.Load(),
+		SentCW:    r.sentCW.Load(),
+		SentCCW:   r.sentCCW.Load(),
+		Quiescent: r.inflight.Load() == 0 && r.initsLeft.Load() == 0,
+		Leader:    -1,
+		Statuses:  make([]node.Status, n),
+	}
+	res.AllTerminated = true
+	for k := 0; k < n; k++ {
+		st := r.machines[k].Status()
+		res.Statuses[k] = st
+		if st.State == node.StateLeader {
+			res.Leaders = append(res.Leaders, k)
+		}
+		if !st.Terminated {
+			res.AllTerminated = false
+		}
+	}
+	if len(res.Leaders) == 1 {
+		res.Leader = res.Leaders[0]
+	}
+	r.mu.Lock()
+	res.TerminationOrder = append(res.TerminationOrder, r.termOrder...)
+	r.mu.Unlock()
+	return res
+}
+
+// conduit is an unbounded FIFO pulse channel. Pulses carry no content, so
+// the backlog is a counter; a tiny pump goroutine offers pulses on out
+// whenever the backlog is positive. push never blocks.
+type conduit struct {
+	in     chan pulse.Pulse
+	out    chan pulse.Pulse
+	done   chan struct{}
+	once   sync.Once
+	jitter uint64 // 0 = no chaos; otherwise the channel's jitter state
+}
+
+func newConduit(jitter uint64) *conduit {
+	c := &conduit{
+		in:     make(chan pulse.Pulse, 1),
+		out:    make(chan pulse.Pulse),
+		done:   make(chan struct{}),
+		jitter: jitter,
+	}
+	go c.pump()
+	return c
+}
+
+func (c *conduit) push() {
+	select {
+	case c.in <- pulse.Pulse{}:
+	case <-c.done:
+	}
+}
+
+func (c *conduit) close() { c.once.Do(func() { close(c.done) }) }
+
+// shake injects pseudo-random scheduling jitter before a delivery.
+func (c *conduit) shake() {
+	if c.jitter == 0 {
+		return
+	}
+	// xorshift64 step.
+	x := c.jitter
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.jitter = x
+	switch x % 16 {
+	case 0:
+		time.Sleep(time.Duration(x%5) * time.Microsecond)
+	case 1, 2, 3:
+		for i := uint64(0); i < x%8; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (c *conduit) pump() {
+	backlog := 0
+	for {
+		var out chan<- pulse.Pulse
+		if backlog > 0 {
+			c.shake()
+			out = c.out
+		}
+		select {
+		case <-c.done:
+			return
+		case <-c.in:
+			backlog++
+		case out <- pulse.Pulse{}:
+			backlog--
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package live_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"coleader/internal/core"
+	"coleader/internal/live"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// TestLiveAlg2 runs Algorithm 2 on the goroutine runtime: the Go scheduler
+// is the asynchronous adversary, yet the outcome and the exact pulse count
+// must match Theorem 1 every time.
+func TestLiveAlg2(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(10)
+		ids := ring.PermutedIDs(n, rng)
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg2Machines(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Run(topo, ms)
+		if err != nil {
+			t.Fatalf("trial %d ids %v: %v", trial, ids, err)
+		}
+		wantLeader, _ := ring.MaxIndex(ids)
+		if res.Leader != wantLeader {
+			t.Errorf("trial %d: leader %d, want %d", trial, res.Leader, wantLeader)
+		}
+		if !res.AllTerminated || !res.Quiescent {
+			t.Errorf("trial %d: terminated=%t quiescent=%t", trial, res.AllTerminated, res.Quiescent)
+		}
+		if want := core.PredictedAlg2Pulses(n, ring.MaxID(ids)); res.Sent != want {
+			t.Errorf("trial %d: sent %d, want %d", trial, res.Sent, want)
+		}
+		if res.Sent != res.Delivered {
+			t.Errorf("trial %d: sent %d != delivered %d at quiescence", trial, res.Sent, res.Delivered)
+		}
+		if len(res.TerminationOrder) != n {
+			t.Errorf("trial %d: %d termination records, want %d", trial, len(res.TerminationOrder), n)
+		}
+	}
+}
+
+// TestLiveAlg1 checks the stabilizing algorithm quiesces on the live
+// runtime with the exact Corollary 13 count, without terminating.
+func TestLiveAlg1(t *testing.T) {
+	ids := []uint64{4, 9, 2, 7, 5}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg1Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.Run(topo, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllTerminated {
+		t.Error("Algorithm 1 terminated")
+	}
+	if want := core.PredictedAlg1Pulses(len(ids), 9); res.Sent != want {
+		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+	wantLeader, _ := ring.MaxIndex(ids)
+	if res.Leader != wantLeader {
+		t.Errorf("leader %d, want %d", res.Leader, wantLeader)
+	}
+}
+
+// TestLiveAlg3NonOriented runs the non-oriented election+orientation on
+// real goroutines across random port assignments.
+func TestLiveAlg3NonOriented(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(8)
+		ids := ring.PermutedIDs(n, rng)
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg3Machines(n, ids, core.SchemeSuccessor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Run(topo, ms)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantLeader, _ := ring.MaxIndex(ids)
+		if res.Leader != wantLeader {
+			t.Errorf("trial %d: leader %d, want %d", trial, res.Leader, wantLeader)
+		}
+		if want := core.PredictedAlg3Pulses(n, ring.MaxID(ids), core.SchemeSuccessor); res.Sent != want {
+			t.Errorf("trial %d: sent %d, want %d", trial, res.Sent, want)
+		}
+		var dir pulse.Direction
+		for k, st := range res.Statuses {
+			if !st.HasOrientation {
+				t.Errorf("trial %d: node %d unoriented", trial, k)
+				continue
+			}
+			d := topo.DirectionOf(k, st.CWPort)
+			if dir == 0 {
+				dir = d
+			} else if d != dir {
+				t.Errorf("trial %d: inconsistent orientation", trial)
+			}
+		}
+	}
+}
+
+// TestLiveSelfRing: the one-node ring works with the node's conduits
+// looping back to itself.
+func TestLiveSelfRing(t *testing.T) {
+	topo, err := ring.Oriented(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, []uint64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.Run(topo, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader != 0 || res.Sent != 15 {
+		t.Errorf("leader=%d sent=%d, want 0/15", res.Leader, res.Sent)
+	}
+}
+
+// TestLiveTimeout: a machine that never quiesces trips the deadline.
+func TestLiveTimeout(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{&chatterbox{}, &chatterbox{}}
+	_, err = live.Run(topo, ms, live.WithTimeout(50*time.Millisecond))
+	if !errors.Is(err, live.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// chatterbox forwards every pulse forever: the network never quiesces.
+type chatterbox struct{ got int }
+
+func (c *chatterbox) Init(e node.PulseEmitter) { e.Send(pulse.Port1, pulse.Pulse{}) }
+func (c *chatterbox) OnMsg(p pulse.Port, _ pulse.Pulse, e node.PulseEmitter) {
+	c.got++
+	e.Send(pulse.Port1, pulse.Pulse{})
+}
+func (c *chatterbox) Ready(pulse.Port) bool { return true }
+func (c *chatterbox) Status() node.Status   { return node.Status{} }
+
+// TestLiveValidation covers input validation.
+func TestLiveValidation(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Run(topo, nil); err == nil {
+		t.Error("mismatched machine count accepted")
+	}
+}
+
+// TestLiveMatchesSimulator cross-checks the two runtimes: same ring, same
+// IDs — identical leader and identical pulse count (the count is
+// schedule-independent by Theorem 1, so the runtimes must agree exactly).
+func TestLiveMatchesSimulator(t *testing.T) {
+	ids := []uint64{5, 2, 8, 3, 6, 1}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msLive, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLive, err := live.Run(topo, msLive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := core.PredictedAlg2Pulses(len(ids), 8); resLive.Sent != want {
+		t.Errorf("live sent %d, want %d", resLive.Sent, want)
+	}
+	wantLeader, _ := ring.MaxIndex(ids)
+	if resLive.Leader != wantLeader {
+		t.Errorf("live leader %d, want %d", resLive.Leader, wantLeader)
+	}
+	if resLive.SentCW != 6*8 || resLive.SentCCW != 6*8+6 {
+		t.Errorf("direction split (%d,%d), want (48,54)", resLive.SentCW, resLive.SentCCW)
+	}
+}
+
+// TestLiveChaos: under injected scheduling jitter the exact Theorem 1
+// outcome still holds — chaos widens interleavings, never changes results.
+func TestLiveChaos(t *testing.T) {
+	ids := []uint64{5, 9, 2, 7, 1}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		ms, err := core.Alg2Machines(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Run(topo, ms, live.WithChaos(seed), live.WithTimeout(30*time.Second))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Leader != 1 {
+			t.Errorf("seed %d: leader %d, want 1", seed, res.Leader)
+		}
+		if want := core.PredictedAlg2Pulses(len(ids), 9); res.Sent != want {
+			t.Errorf("seed %d: sent %d, want %d", seed, res.Sent, want)
+		}
+	}
+}

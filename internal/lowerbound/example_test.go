@@ -1,0 +1,29 @@
+package lowerbound_test
+
+import (
+	"fmt"
+
+	"coleader/internal/core"
+	"coleader/internal/lowerbound"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Solitude patterns (Definition 21): the pulse-arrival transcript of a
+// node alone on a self-ring, unique per ID (Lemma 22).
+func ExampleSolitude() {
+	mk := func(id uint64) (node.PulseMachine, error) {
+		return core.NewAlg2(id, pulse.Port1)
+	}
+	for id := uint64(1); id <= 3; id++ {
+		p, err := lowerbound.Solitude(mk, id, 1024)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("ID %d: %s\n", id, p)
+	}
+	// Output:
+	// ID 1: 011
+	// ID 2: 00111
+	// ID 3: 0001111
+}

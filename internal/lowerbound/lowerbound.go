@@ -1,0 +1,148 @@
+// Package lowerbound implements the machinery of Section 6: solitude
+// patterns (Definition 21), the uniqueness property that correct
+// content-oblivious leader-election algorithms must give them (Lemma 22),
+// and the resulting message lower bound n·floor(log2(k/n)) (Theorem 20,
+// with Theorem 4 as the k = ID_max instantiation).
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// Pattern is a solitude pattern: the sequence of pulse arrivals observed by
+// the single node of a self-ring under the canonical scheduler, encoded as
+// a binary string with '0' for clockwise and '1' for counterclockwise
+// arrivals (Definition 21).
+type Pattern string
+
+// Len returns the number of pulses in the pattern, which for a quiescently
+// finishing algorithm equals its total message count in solitude.
+func (p Pattern) Len() int { return len(p) }
+
+// CommonPrefixLen returns the length of the longest common prefix of two
+// patterns — the quantity the pigeonhole argument of Lemma 23 counts.
+func CommonPrefixLen(a, b Pattern) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// NewMachine constructs the machine under test for a given ID. The
+// machine's clockwise port is Port1 (the self-ring is oriented).
+type NewMachine func(id uint64) (node.PulseMachine, error)
+
+// Solitude runs the algorithm on the one-node self-ring under the canonical
+// scheduler and extracts its solitude pattern. limit bounds deliveries; a
+// non-quiescent or faulty run is an error.
+func Solitude(mk NewMachine, id uint64, limit uint64) (Pattern, error) {
+	topo, err := ring.Oriented(1)
+	if err != nil {
+		return "", err
+	}
+	m, err := mk(id)
+	if err != nil {
+		return "", fmt.Errorf("lowerbound: building machine for ID %d: %w", id, err)
+	}
+	var b strings.Builder
+	obs := sim.ObserverFunc[pulse.Pulse](func(e *sim.Event, _ *sim.Sim[pulse.Pulse]) error {
+		if e.Kind != sim.EvDeliver {
+			return nil
+		}
+		if e.Dir == pulse.CW {
+			b.WriteByte('0')
+		} else {
+			b.WriteByte('1')
+		}
+		return nil
+	})
+	s, err := sim.New(topo, []node.PulseMachine{m}, sim.Canonical{}, sim.WithObserver[pulse.Pulse](obs))
+	if err != nil {
+		return "", err
+	}
+	res, err := s.Run(limit)
+	if err != nil {
+		return "", fmt.Errorf("lowerbound: solitude run for ID %d: %w", id, err)
+	}
+	if !res.Quiescent {
+		return "", fmt.Errorf("lowerbound: solitude run for ID %d did not quiesce", id)
+	}
+	if res.Leader != 0 {
+		return "", fmt.Errorf("lowerbound: algorithm failed to elect the lone node with ID %d", id)
+	}
+	return Pattern(b.String()), nil
+}
+
+// Patterns computes solitude patterns for every ID in [1, maxID].
+// perIDLimit bounds each run's deliveries.
+func Patterns(mk NewMachine, maxID uint64, perIDLimit uint64) (map[uint64]Pattern, error) {
+	out := make(map[uint64]Pattern, maxID)
+	for id := uint64(1); id <= maxID; id++ {
+		p, err := Solitude(mk, id, perIDLimit)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = p
+	}
+	return out, nil
+}
+
+// ErrPatternCollision reports two IDs sharing a solitude pattern, which
+// Lemma 22 proves impossible for correct algorithms: finding one would
+// witness an execution on a two-node ring where both nodes elect
+// themselves.
+var ErrPatternCollision = errors.New("lowerbound: solitude pattern collision")
+
+// VerifyUnique checks Lemma 22 on a set of patterns: all must be pairwise
+// distinct. On success it returns the minimum pattern length, the paper's
+// per-node cost floor.
+func VerifyUnique(patterns map[uint64]Pattern) (minLen int, err error) {
+	seen := make(map[Pattern]uint64, len(patterns))
+	minLen = -1
+	for id, p := range patterns {
+		if other, dup := seen[p]; dup {
+			return 0, fmt.Errorf("%w: IDs %d and %d both map to %q", ErrPatternCollision, other, id, p)
+		}
+		seen[p] = id
+		if minLen < 0 || p.Len() < minLen {
+			minLen = p.Len()
+		}
+	}
+	return minLen, nil
+}
+
+// MaxSharedPrefix returns the longest common prefix length over all pairs
+// of patterns, realizing the pigeonhole bound of Lemma 23/Corollary 24: for
+// k distinct binary strings and any n <= k, some n of them share a prefix
+// of length at least floor(log2(k/n)).
+func MaxSharedPrefix(patterns map[uint64]Pattern) int {
+	// Sorting the patterns lexicographically would find the max shared
+	// prefix between neighbors; with the modest ID ranges we sweep, the
+	// direct pairwise scan over a sorted slice is simpler and exact.
+	ps := make([]Pattern, 0, len(patterns))
+	for _, p := range patterns {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	best := 0
+	for i := 1; i < len(ps); i++ {
+		if l := CommonPrefixLen(ps[i-1], ps[i]); l > best {
+			best = l
+		}
+	}
+	return best
+}

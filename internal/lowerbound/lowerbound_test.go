@@ -1,0 +1,162 @@
+package lowerbound_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/lowerbound"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/sim"
+)
+
+func alg2Maker(id uint64) (node.PulseMachine, error) {
+	return core.NewAlg2(id, pulse.Port1)
+}
+
+func alg1Maker(id uint64) (node.PulseMachine, error) {
+	return core.NewAlg1(id, pulse.Port1)
+}
+
+// TestSolitudePatternAlg2 pins the exact solitude pattern of Algorithm 2:
+// ID clockwise arrivals followed by ID+1 counterclockwise ones (the last
+// being the returning termination pulse).
+func TestSolitudePatternAlg2(t *testing.T) {
+	for _, id := range []uint64{1, 2, 3, 7} {
+		p, err := lowerbound.Solitude(alg2Maker, id, 10000)
+		if err != nil {
+			t.Fatalf("id=%d: %v", id, err)
+		}
+		want := strings.Repeat("0", int(id)) + strings.Repeat("1", int(id)+1)
+		if string(p) != want {
+			t.Errorf("id=%d: pattern %q, want %q", id, p, want)
+		}
+		if p.Len() != int(2*id+1) {
+			t.Errorf("id=%d: pattern length %d, want %d (= message complexity in solitude)",
+				id, p.Len(), 2*id+1)
+		}
+	}
+}
+
+// TestSolitudePatternAlg1 pins Algorithm 1's solitude pattern: ID clockwise
+// arrivals, nothing else.
+func TestSolitudePatternAlg1(t *testing.T) {
+	p, err := lowerbound.Solitude(alg1Maker, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "00000" {
+		t.Errorf("pattern %q, want %q", p, "00000")
+	}
+}
+
+// TestLemma22Uniqueness verifies Lemma 22 empirically for Algorithms 1
+// and 2 over a wide ID range: all solitude patterns are pairwise distinct.
+func TestLemma22Uniqueness(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   lowerbound.NewMachine
+	}{
+		{"alg1", alg1Maker},
+		{"alg2", alg2Maker},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ps, err := lowerbound.Patterns(tc.mk, 512, 1<<14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ps) != 512 {
+				t.Fatalf("got %d patterns, want 512", len(ps))
+			}
+			if _, err := lowerbound.VerifyUnique(ps); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestVerifyUniqueDetectsCollision: a fabricated collision is reported.
+func TestVerifyUniqueDetectsCollision(t *testing.T) {
+	ps := map[uint64]lowerbound.Pattern{1: "01", 2: "01"}
+	if _, err := lowerbound.VerifyUnique(ps); !errors.Is(err, lowerbound.ErrPatternCollision) {
+		t.Errorf("err = %v, want ErrPatternCollision", err)
+	}
+}
+
+// TestCommonPrefixLen pins the prefix arithmetic.
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b lowerbound.Pattern
+		want int
+	}{
+		{"0011", "0010", 3},
+		{"0011", "0011", 4},
+		{"0011", "00110", 4},
+		{"1", "0", 0},
+		{"", "01", 0},
+	}
+	for _, tc := range cases {
+		if got := lowerbound.CommonPrefixLen(tc.a, tc.b); got != tc.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestMaxSharedPrefixMatchesPigeonhole: for Algorithm 2's patterns over k
+// IDs, some pair shares a prefix of length >= floor(log2(k/2)) as
+// Corollary 24 (n = 2) guarantees for ANY family of k distinct strings.
+func TestMaxSharedPrefixMatchesPigeonhole(t *testing.T) {
+	const k = 128
+	ps, err := lowerbound.Patterns(alg2Maker, k, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lowerbound.MaxSharedPrefix(ps)
+	if want := int(core.LowerBoundPulses(2, k)) / 2; got < want {
+		t.Errorf("max shared prefix %d < pigeonhole floor %d", got, want)
+	}
+}
+
+// TestSolitudeCostDominatsLowerBound: for every ID, the measured solitude
+// cost (pattern length) is at least Theorem 4's bound with n = 1,
+// k = ID_max, and the upper bound 2·ID+1 of Theorem 1.
+func TestSolitudeCostDominatesLowerBound(t *testing.T) {
+	for _, id := range []uint64{1, 4, 16, 64, 256, 1024} {
+		p, err := lowerbound.Solitude(alg2Maker, id, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := core.LowerBoundPulses(1, id)
+		ub := core.PredictedAlg2Pulses(1, id)
+		cost := uint64(p.Len())
+		if cost < lb {
+			t.Errorf("id=%d: cost %d below lower bound %d", id, cost, lb)
+		}
+		if cost != ub {
+			t.Errorf("id=%d: cost %d, want upper bound %d exactly", id, cost, ub)
+		}
+	}
+}
+
+// TestSolitudeRejectsBrokenAlgorithm: an algorithm that fails to elect the
+// lone node is reported.
+func TestSolitudeRejectsBrokenAlgorithm(t *testing.T) {
+	broken := func(id uint64) (node.PulseMachine, error) {
+		return brokenMachine{}, nil
+	}
+	if _, err := lowerbound.Solitude(broken, 1, 100); err == nil {
+		t.Error("broken algorithm accepted")
+	}
+}
+
+type brokenMachine struct{}
+
+func (brokenMachine) Init(node.PulseEmitter)                           {}
+func (brokenMachine) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {}
+func (brokenMachine) Ready(pulse.Port) bool                            { return true }
+func (brokenMachine) Status() node.Status                              { return node.Status{} }
+
+var _ sim.Scheduler = sim.Canonical{} // the canonical scheduler is load-bearing here

@@ -1,0 +1,111 @@
+// Package node defines the event-driven node abstraction shared by every
+// runtime in this repository: the deterministic discrete-event simulator
+// (internal/sim), the goroutine-per-node live runtime (internal/live), and
+// the exhaustive schedule explorer (internal/check).
+//
+// A Machine is a state machine in the sense of Section 2 of the paper: it
+// acts once at start-up (Init) and afterwards only in reaction to message
+// arrivals (OnMsg). The message type is generic so that the same runtimes
+// drive both content-oblivious algorithms (M = pulse.Pulse) and the
+// content-carrying baselines of internal/baseline.
+package node
+
+import (
+	"coleader/internal/pulse"
+)
+
+// Emitter is handed to a Machine during Init and OnMsg; Send queues one
+// message on the channel attached to the given port. Sends take effect
+// atomically when the handler returns. An Emitter must not be retained
+// beyond the handler invocation it was passed to.
+type Emitter[M any] interface {
+	Send(p pulse.Port, m M)
+}
+
+// Machine is an event-driven ring node.
+//
+// The runtime contract is:
+//   - Init is invoked exactly once, before any OnMsg.
+//   - OnMsg(p, m, e) is invoked when the runtime delivers a message from the
+//     incoming queue of port p; it is never invoked while Ready(p) is false.
+//   - Ready(p) reports whether the machine is currently willing to consume
+//     from port p. This models the polling style of the paper's pseudocode
+//     (e.g. Algorithm 2 does not call recvCCW until rho_cw >= ID): messages
+//     queued on a non-ready port stay in the channel. A terminated machine
+//     must report Ready false on both ports.
+//   - Status may be called at any time between handler invocations.
+type Machine[M any] interface {
+	Init(e Emitter[M])
+	OnMsg(p pulse.Port, m M, e Emitter[M])
+	Ready(p pulse.Port) bool
+	Status() Status
+}
+
+// PulseMachine is a Machine restricted to contentless pulses: the type of
+// every content-oblivious algorithm in internal/core.
+type PulseMachine = Machine[pulse.Pulse]
+
+// PulseEmitter is the Emitter given to a PulseMachine.
+type PulseEmitter = Emitter[pulse.Pulse]
+
+// Cloneable is implemented by machines that support exhaustive schedule
+// exploration (internal/check): the explorer snapshots and restores machine
+// state while branching over delivery orders.
+type Cloneable[M any] interface {
+	Machine[M]
+
+	// CloneMachine returns a deep copy of the machine.
+	CloneMachine() Machine[M]
+
+	// StateKey returns a canonical encoding of the machine's entire state,
+	// used to memoize visited global states. Two machines with equal
+	// StateKeys must behave identically forever after.
+	StateKey() string
+}
+
+// State is a node's leader-election output.
+type State uint8
+
+// Election outputs. StateUndecided is the zero value: a node that has not
+// yet set a state.
+const (
+	StateUndecided State = iota
+	StateLeader
+	StateNonLeader
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case StateUndecided:
+		return "Undecided"
+	case StateLeader:
+		return "Leader"
+	case StateNonLeader:
+		return "Non-Leader"
+	default:
+		return "State?"
+	}
+}
+
+// Status is the externally observable condition of a Machine.
+type Status struct {
+	// State is the current election output (possibly still subject to
+	// revision for stabilizing algorithms).
+	State State
+
+	// Terminated reports that the node has explicitly halted. Once set it
+	// must never clear, and Ready must be false on both ports.
+	Terminated bool
+
+	// HasOrientation reports that the node has labeled its ports with ring
+	// directions (Algorithm 3). When set, CWPort is the port the node
+	// believes leads to its clockwise neighbor.
+	HasOrientation bool
+	CWPort         pulse.Port
+
+	// Err records a protocol fault detected by the machine itself, such as
+	// a pulse arriving on a channel the algorithm proves silent. Runtimes
+	// abort the run when they observe a non-nil Err.
+	Err error
+}

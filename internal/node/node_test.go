@@ -1,0 +1,35 @@
+package node_test
+
+import (
+	"testing"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+func TestStateStrings(t *testing.T) {
+	cases := map[node.State]string{
+		node.StateUndecided: "Undecided",
+		node.StateLeader:    "Leader",
+		node.StateNonLeader: "Non-Leader",
+		node.State(9):       "State?",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestZeroStatus pins the zero value's meaning: an undecided, live,
+// unoriented, healthy node — so machines need no constructor boilerplate
+// to report a sensible initial status.
+func TestZeroStatus(t *testing.T) {
+	var st node.Status
+	if st.State != node.StateUndecided || st.Terminated || st.HasOrientation || st.Err != nil {
+		t.Errorf("zero Status = %+v", st)
+	}
+	if st.CWPort != pulse.Port0 {
+		t.Errorf("zero CWPort = %v", st.CWPort)
+	}
+}

@@ -1,0 +1,81 @@
+// Package pulse defines the primitive vocabulary of the fully defective
+// network model of Censor-Hillel, Cohen, Gelles, and Sela (Distributed
+// Computing, 2023), as used by Frei, Gelles, Ghazy, and Nolin
+// ("Content-Oblivious Leader Election on Rings", DISC 2024).
+//
+// In this model every message is corrupted down to a contentless Pulse;
+// an algorithm may react only to the order and ports of pulse arrivals.
+// Nodes on a ring own two ports, Port0 and Port1. On an oriented ring,
+// Port1 leads to the clockwise neighbor at every node; on a non-oriented
+// ring the port-to-direction mapping is adversarial and per node.
+package pulse
+
+// Pulse is a fully corrupted message: it carries no information beyond its
+// existence. Algorithms in internal/core exchange only values of this type,
+// which makes content-obliviousness a property enforced by the type system.
+type Pulse struct{}
+
+// Port identifies one of the two ring ports of a node.
+type Port uint8
+
+// The two ports of a ring node. On an oriented ring Port1 is the clockwise
+// port (it leads to the clockwise neighbor) and Port0 the counterclockwise
+// port, matching the convention of Section 2 of the paper.
+const (
+	Port0 Port = 0
+	Port1 Port = 1
+)
+
+// Opposite returns the other port.
+func (p Port) Opposite() Port { return p ^ 1 }
+
+// Valid reports whether p is Port0 or Port1.
+func (p Port) Valid() bool { return p <= 1 }
+
+// String returns "Port0" or "Port1".
+func (p Port) String() string {
+	switch p {
+	case Port0:
+		return "Port0"
+	case Port1:
+		return "Port1"
+	default:
+		return "Port?"
+	}
+}
+
+// Direction is a global direction of travel around the ring. It exists only
+// in the analysis and in the simulator's bookkeeping: nodes of a
+// non-oriented ring cannot observe it.
+type Direction uint8
+
+// Ring directions. A clockwise pulse is sent from a node's clockwise port
+// and arrives at the receiver's counterclockwise port, and vice versa.
+const (
+	CW Direction = iota + 1
+	CCW
+)
+
+// Opposite returns the reverse direction.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case CW:
+		return CCW
+	case CCW:
+		return CW
+	default:
+		return 0
+	}
+}
+
+// String returns "CW" or "CCW".
+func (d Direction) String() string {
+	switch d {
+	case CW:
+		return "CW"
+	case CCW:
+		return "CCW"
+	default:
+		return "Dir?"
+	}
+}

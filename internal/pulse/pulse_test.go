@@ -1,0 +1,69 @@
+package pulse_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coleader/internal/pulse"
+)
+
+func TestOppositeIsInvolution(t *testing.T) {
+	for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
+		if p.Opposite().Opposite() != p {
+			t.Errorf("Opposite not an involution for %v", p)
+		}
+		if p.Opposite() == p {
+			t.Errorf("Opposite(%v) == %v", p, p)
+		}
+	}
+}
+
+func TestPortValidity(t *testing.T) {
+	if !pulse.Port0.Valid() || !pulse.Port1.Valid() {
+		t.Error("canonical ports invalid")
+	}
+	prop := func(raw uint8) bool {
+		p := pulse.Port(raw)
+		return p.Valid() == (raw <= 1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortStrings(t *testing.T) {
+	cases := map[pulse.Port]string{
+		pulse.Port0:   "Port0",
+		pulse.Port1:   "Port1",
+		pulse.Port(2): "Port?",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Port(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestDirectionAlgebra(t *testing.T) {
+	if pulse.CW.Opposite() != pulse.CCW || pulse.CCW.Opposite() != pulse.CW {
+		t.Error("direction Opposite broken")
+	}
+	if pulse.Direction(0).Opposite() != pulse.Direction(0) {
+		t.Error("zero direction should map to zero")
+	}
+	if pulse.CW.String() != "CW" || pulse.CCW.String() != "CCW" {
+		t.Error("direction names broken")
+	}
+	if pulse.Direction(77).String() != "Dir?" {
+		t.Error("unknown direction name broken")
+	}
+}
+
+// TestPulseCarriesNothing pins the core modeling decision: a Pulse is a
+// zero-size value, so content-obliviousness is structural.
+func TestPulseCarriesNothing(t *testing.T) {
+	var a, b pulse.Pulse
+	if a != b {
+		t.Error("pulses are distinguishable")
+	}
+}

@@ -1,0 +1,141 @@
+// Package ring builds ring topologies (oriented, non-oriented, self-ring)
+// and ID assignments for the leader-election algorithms and experiments.
+//
+// Nodes are indexed 0..n-1 in clockwise order: the clockwise neighbor of
+// node k is node (k+1) mod n. Whether a node's Port1 actually leads
+// clockwise is controlled per node by a flip bit, which is how non-oriented
+// rings (Figure 1 of the paper, right side) are realized. Algorithms never
+// see flip bits; only the simulator's wiring does.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"coleader/internal/pulse"
+)
+
+// ErrNotOriented is returned when an oriented-ring-only operation is applied
+// to a topology containing flipped nodes.
+var ErrNotOriented = errors.New("ring: topology is not oriented")
+
+// Endpoint identifies one port of one node; each directed channel of the
+// ring is named by its receiving Endpoint.
+type Endpoint struct {
+	Node int
+	Port pulse.Port
+}
+
+// String formats the endpoint as "node/port".
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%d/%s", e.Node, e.Port)
+}
+
+// Topology is an immutable description of a ring's wiring.
+type Topology struct {
+	n    int
+	flip []bool // flip[k]: node k's Port0 (not Port1) leads clockwise
+}
+
+// Oriented returns the oriented ring on n nodes: every node's Port1 leads
+// to its clockwise neighbor. n = 1 yields the legal self-ring whose two
+// ports are connected to each other.
+func Oriented(n int) (Topology, error) {
+	if n < 1 {
+		return Topology{}, fmt.Errorf("ring: size %d < 1", n)
+	}
+	return Topology{n: n, flip: make([]bool, n)}, nil
+}
+
+// NonOriented returns a ring whose node k has its ports swapped when
+// flips[k] is set. len(flips) determines the ring size. All 2^n port
+// assignments of the model are expressible this way.
+func NonOriented(flips []bool) (Topology, error) {
+	if len(flips) < 1 {
+		return Topology{}, errors.New("ring: empty flip assignment")
+	}
+	f := make([]bool, len(flips))
+	copy(f, flips)
+	return Topology{n: len(flips), flip: f}, nil
+}
+
+// RandomNonOriented returns a ring on n nodes with uniformly random port
+// assignments drawn from rng.
+func RandomNonOriented(n int, rng *rand.Rand) (Topology, error) {
+	if n < 1 {
+		return Topology{}, fmt.Errorf("ring: size %d < 1", n)
+	}
+	f := make([]bool, n)
+	for i := range f {
+		f[i] = rng.Intn(2) == 1
+	}
+	return NonOriented(f)
+}
+
+// N returns the number of nodes.
+func (t Topology) N() int { return t.n }
+
+// Oriented reports whether every node's Port1 leads clockwise.
+func (t Topology) Oriented() bool {
+	for _, f := range t.flip {
+		if f {
+			return false
+		}
+	}
+	return true
+}
+
+// Flipped reports whether node k's ports are swapped relative to the
+// oriented convention.
+func (t Topology) Flipped(k int) bool { return t.flip[k] }
+
+// CWPort returns the port of node k that leads to its clockwise neighbor.
+func (t Topology) CWPort(k int) pulse.Port {
+	if t.flip[k] {
+		return pulse.Port0
+	}
+	return pulse.Port1
+}
+
+// CCWPort returns the port of node k that leads to its counterclockwise
+// neighbor.
+func (t Topology) CCWPort(k int) pulse.Port { return t.CWPort(k).Opposite() }
+
+// Peer returns the endpoint wired to node k's port p: a message sent by k
+// out of port p is queued on the incoming channel of Peer(k, p).
+func (t Topology) Peer(k int, p pulse.Port) Endpoint {
+	if p == t.CWPort(k) {
+		cw := (k + 1) % t.n
+		return Endpoint{Node: cw, Port: t.CCWPort(cw)}
+	}
+	ccw := (k - 1 + t.n) % t.n
+	return Endpoint{Node: ccw, Port: t.CWPort(ccw)}
+}
+
+// DirectionOf returns the travel direction of a message sent by node k out
+// of port p: CW when p is k's clockwise port.
+func (t Topology) DirectionOf(k int, p pulse.Port) pulse.Direction {
+	if p == t.CWPort(k) {
+		return pulse.CW
+	}
+	return pulse.CCW
+}
+
+// ArrivalDirection returns the travel direction of a message that arrives
+// at node k on port p: a clockwise message arrives on the
+// counterclockwise-leading port.
+func (t Topology) ArrivalDirection(k int, p pulse.Port) pulse.Direction {
+	if p == t.CCWPort(k) {
+		return pulse.CW
+	}
+	return pulse.CCW
+}
+
+// String summarizes the topology.
+func (t Topology) String() string {
+	if t.Oriented() {
+		return fmt.Sprintf("oriented ring n=%d", t.n)
+	}
+	return fmt.Sprintf("non-oriented ring n=%d flips=%v", t.n, t.flip)
+}

@@ -1,0 +1,213 @@
+package ring_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+func TestOrientedWiring(t *testing.T) {
+	topo, err := ring.Oriented(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Oriented() {
+		t.Error("Oriented(4) not oriented")
+	}
+	for k := 0; k < 4; k++ {
+		if got := topo.CWPort(k); got != pulse.Port1 {
+			t.Errorf("node %d: CWPort = %v, want Port1", k, got)
+		}
+		// Sending clockwise lands on the next node's Port0.
+		peer := topo.Peer(k, pulse.Port1)
+		if peer.Node != (k+1)%4 || peer.Port != pulse.Port0 {
+			t.Errorf("node %d Port1 -> %v, want %d/Port0", k, peer, (k+1)%4)
+		}
+		// Sending counterclockwise lands on the previous node's Port1.
+		peer = topo.Peer(k, pulse.Port0)
+		if peer.Node != (k+3)%4 || peer.Port != pulse.Port1 {
+			t.Errorf("node %d Port0 -> %v, want %d/Port1", k, peer, (k+3)%4)
+		}
+	}
+}
+
+func TestSelfRingWiring(t *testing.T) {
+	topo, err := ring.Oriented(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := topo.Peer(0, pulse.Port1)
+	if p.Node != 0 || p.Port != pulse.Port0 {
+		t.Errorf("self-ring Port1 -> %v, want 0/Port0", p)
+	}
+	p = topo.Peer(0, pulse.Port0)
+	if p.Node != 0 || p.Port != pulse.Port1 {
+		t.Errorf("self-ring Port0 -> %v, want 0/Port1", p)
+	}
+}
+
+func TestNonOrientedWiring(t *testing.T) {
+	// Node 1 flipped: its Port0 leads clockwise.
+	topo, err := ring.NonOriented([]bool{false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Oriented() {
+		t.Error("flipped topology reports oriented")
+	}
+	if got := topo.CWPort(1); got != pulse.Port0 {
+		t.Errorf("flipped node CWPort = %v, want Port0", got)
+	}
+	// Node 0 sends clockwise out Port1; it must arrive at node 1's
+	// counterclockwise port, which (flipped) is Port1.
+	p := topo.Peer(0, pulse.Port1)
+	if p.Node != 1 || p.Port != pulse.Port1 {
+		t.Errorf("0/Port1 -> %v, want 1/Port1", p)
+	}
+}
+
+// TestWiringInvolution checks the fundamental wiring property on random
+// topologies: following a channel and then the peer's matching reverse
+// channel returns to the origin, and peers are mutual.
+func TestWiringInvolution(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
+				peer := topo.Peer(k, p)
+				// The peer's same-named port sends back to (k, p):
+				// channels come in opposing pairs over each edge.
+				back := topo.Peer(peer.Node, peer.Port)
+				if back.Node != k || back.Port != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirectionConsistency checks that DirectionOf and ArrivalDirection
+// agree across each edge: a message sent clockwise arrives clockwise.
+func TestDirectionConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
+				d := topo.DirectionOf(k, p)
+				peer := topo.Peer(k, p)
+				if topo.ArrivalDirection(peer.Node, peer.Port) != d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockwiseTraversal checks that hopping out of CW ports visits all
+// nodes in index order, on any port assignment.
+func TestClockwiseTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := 0
+		for i := 0; i < n; i++ {
+			peer := topo.Peer(at, topo.CWPort(at))
+			if peer.Node != (at+1)%n {
+				t.Fatalf("n=%d: CW hop from %d reached %d", n, at, peer.Node)
+			}
+			at = peer.Node
+		}
+		if at != 0 {
+			t.Fatalf("n=%d: CW walk did not close after n hops", n)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := ring.Oriented(0); err == nil {
+		t.Error("Oriented(0) succeeded")
+	}
+	if _, err := ring.NonOriented(nil); err == nil {
+		t.Error("NonOriented(nil) succeeded")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ring.RandomNonOriented(0, rng); err == nil {
+		t.Error("RandomNonOriented(0) succeeded")
+	}
+}
+
+func TestNonOrientedCopiesFlips(t *testing.T) {
+	flips := []bool{true, false}
+	topo, err := ring.NonOriented(flips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips[0] = false
+	if !topo.Flipped(0) {
+		t.Error("Topology aliases the caller's flip slice")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	topo, _ := ring.Oriented(3)
+	if got := topo.String(); got != "oriented ring n=3" {
+		t.Errorf("String() = %q", got)
+	}
+	topo, _ = ring.NonOriented([]bool{true})
+	if got := topo.String(); got == "" || got == "oriented ring n=1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	e := ring.Endpoint{Node: 3, Port: pulse.Port1}
+	if got := e.String(); got != "3/Port1" {
+		t.Errorf("Endpoint.String() = %q", got)
+	}
+}
+
+func TestPortAlgebra(t *testing.T) {
+	if pulse.Port0.Opposite() != pulse.Port1 || pulse.Port1.Opposite() != pulse.Port0 {
+		t.Error("Opposite broken")
+	}
+	if !pulse.Port0.Valid() || !pulse.Port1.Valid() || pulse.Port(2).Valid() {
+		t.Error("Valid broken")
+	}
+	if pulse.CW.Opposite() != pulse.CCW || pulse.CCW.Opposite() != pulse.CW {
+		t.Error("Direction.Opposite broken")
+	}
+	if pulse.Direction(0).Opposite() != 0 {
+		t.Error("zero Direction.Opposite should be zero")
+	}
+	if pulse.Port0.String() != "Port0" || pulse.Port(7).String() != "Port?" {
+		t.Error("Port.String broken")
+	}
+	if pulse.CW.String() != "CW" || pulse.CCW.String() != "CCW" || pulse.Direction(9).String() != "Dir?" {
+		t.Error("Direction.String broken")
+	}
+}

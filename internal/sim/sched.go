@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math/rand"
+
+	"coleader/internal/pulse"
+)
+
+// View is the scheduler's window into the simulation: the currently
+// deliverable channels plus enough metadata to implement adversaries.
+type View interface {
+	// Deliverable returns the non-empty set of channels the scheduler may
+	// pick from, in ascending channel-id order. Valid until the next step.
+	Deliverable() []int
+	// HeadSeq returns the global send-order sequence number of channel c's
+	// oldest queued message. c must be deliverable.
+	HeadSeq(c int) uint64
+	// QueueLen returns how many messages are queued on channel c.
+	QueueLen(c int) int
+	// Direction returns the ring direction traveled by messages on c.
+	Direction(c int) pulse.Direction
+	// Step returns the number of handler invocations so far.
+	Step() uint64
+}
+
+type view[M any] struct{ s *Sim[M] }
+
+func (v *view[M]) Deliverable() []int              { return v.s.Deliverable() }
+func (v *view[M]) HeadSeq(c int) uint64            { return v.s.headSeq(c) }
+func (v *view[M]) QueueLen(c int) int              { return v.s.QueueLen(c) }
+func (v *view[M]) Direction(c int) pulse.Direction { return v.s.chanDir[c] }
+func (v *view[M]) Step() uint64                    { return v.s.step }
+
+// Scheduler chooses the next delivery. Next is called only when at least
+// one channel is deliverable and must return one of View.Deliverable().
+// Schedulers embody the asynchronous adversary: every Scheduler realizes
+// some legal schedule, and together the stock schedulers probe the corner
+// cases (oldest-first, newest-first, direction starvation, randomness).
+type Scheduler interface {
+	Next(v View) int
+}
+
+// Canonical is the scheduler of Definition 21: messages are delivered one
+// by one in exactly the order they were sent, with ties among messages
+// emitted by the same handler broken in favor of clockwise ones (the
+// emitter enqueues CW sends first, so send order realizes the tie-break).
+// It is the scheduler under which solitude patterns are defined.
+type Canonical struct{}
+
+// Next implements Scheduler.
+func (Canonical) Next(v View) int {
+	ds := v.Deliverable()
+	best := ds[0]
+	for _, c := range ds[1:] {
+		if v.HeadSeq(c) < v.HeadSeq(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Newest delivers the most recently sent deliverable message first
+// (subject to per-channel FIFO): a maximally "unfair" adversary that lets
+// old messages linger arbitrarily long.
+type Newest struct{}
+
+// Next implements Scheduler.
+func (Newest) Next(v View) int {
+	ds := v.Deliverable()
+	best := ds[0]
+	for _, c := range ds[1:] {
+		if v.HeadSeq(c) > v.HeadSeq(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Random delivers a uniformly random in-flight deliverable message
+// (channels weighted by queue length). Deterministic for a fixed seed.
+type Random struct{ rng *rand.Rand }
+
+// NewRandom returns a Random scheduler seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (r *Random) Next(v View) int {
+	ds := v.Deliverable()
+	total := 0
+	for _, c := range ds {
+		total += v.QueueLen(c)
+	}
+	pick := r.rng.Intn(total)
+	for _, c := range ds {
+		pick -= v.QueueLen(c)
+		if pick < 0 {
+			return c
+		}
+	}
+	return ds[len(ds)-1] // unreachable
+}
+
+// RoundRobin cycles through channels, giving each ready channel one
+// delivery in turn: a "fair" schedule resembling lock-step execution.
+type RoundRobin struct{ last int }
+
+// NewRoundRobin returns a RoundRobin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(v View) int {
+	ds := v.Deliverable()
+	for _, c := range ds {
+		if c > r.last {
+			r.last = c
+			return c
+		}
+	}
+	r.last = ds[0]
+	return ds[0]
+}
+
+// DirBiased starves one direction: whenever any message traveling Prefer
+// is deliverable it goes first (oldest such first), and only otherwise does
+// the other direction advance. With Prefer = CCW it maximally rushes the
+// counterclockwise instance inside Algorithm 2, stressing the lag mechanism
+// that its correctness rests on.
+type DirBiased struct {
+	// Prefer is the direction whose messages are always delivered first.
+	Prefer pulse.Direction
+}
+
+// Next implements Scheduler.
+func (d DirBiased) Next(v View) int {
+	ds := v.Deliverable()
+	best, found := 0, false
+	for _, c := range ds {
+		if v.Direction(c) != d.Prefer {
+			continue
+		}
+		if !found || v.HeadSeq(c) < v.HeadSeq(best) {
+			best, found = c, true
+		}
+	}
+	if found {
+		return best
+	}
+	return Canonical{}.Next(v)
+}
+
+// Flaky alternates bursts of canonical delivery with bursts of random
+// delivery, switching with probability 1/8 per step: a schedule with long
+// quiet stretches punctuated by reordering storms.
+type Flaky struct {
+	rng    *rand.Rand
+	stormy bool
+	inner  *Random
+}
+
+// NewFlaky returns a Flaky scheduler seeded with seed.
+func NewFlaky(seed int64) *Flaky {
+	return &Flaky{
+		rng:   rand.New(rand.NewSource(seed)),
+		inner: NewRandom(seed + 1),
+	}
+}
+
+// Next implements Scheduler.
+func (f *Flaky) Next(v View) int {
+	if f.rng.Intn(8) == 0 {
+		f.stormy = !f.stormy
+	}
+	if f.stormy {
+		return f.inner.Next(v)
+	}
+	return Canonical{}.Next(v)
+}
+
+// HashDelay assigns every message a pseudo-random "delay rank" derived
+// from hashing (seed, channel, sequence number) and always delivers the
+// deliverable head with the smallest rank. Unlike Random it fixes each
+// message's relative delay at send time, modeling per-message link delays
+// (two messages on different channels overtake each other consistently,
+// not re-rolled per step), while per-channel FIFO still holds because only
+// queue heads are candidates.
+type HashDelay struct{ seed uint64 }
+
+// NewHashDelay returns a HashDelay scheduler for the given seed.
+func NewHashDelay(seed int64) HashDelay { return HashDelay{seed: uint64(seed)} }
+
+// Next implements Scheduler.
+func (h HashDelay) Next(v View) int {
+	ds := v.Deliverable()
+	best, bestRank := ds[0], h.rank(ds[0], v.HeadSeq(ds[0]))
+	for _, c := range ds[1:] {
+		if r := h.rank(c, v.HeadSeq(c)); r < bestRank {
+			best, bestRank = c, r
+		}
+	}
+	return best
+}
+
+// rank is an xorshift-style mix of (seed, channel, seq).
+func (h HashDelay) rank(c int, seq uint64) uint64 {
+	x := h.seed ^ uint64(c)*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Stock enumerates one instance of every stock scheduler, keyed by a short
+// name; experiments sweep over it. Seeded schedulers use the given seed.
+func Stock(seed int64) map[string]Scheduler {
+	return map[string]Scheduler{
+		"canonical":  Canonical{},
+		"newest":     Newest{},
+		"random":     NewRandom(seed),
+		"roundrobin": NewRoundRobin(),
+		"ccw-first":  DirBiased{Prefer: pulse.CCW},
+		"cw-first":   DirBiased{Prefer: pulse.CW},
+		"flaky":      NewFlaky(seed),
+		"hashdelay":  NewHashDelay(seed),
+	}
+}

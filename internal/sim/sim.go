@@ -1,0 +1,476 @@
+// Package sim is a deterministic discrete-event simulator for asynchronous
+// ring networks. It is the reference runtime for every algorithm in this
+// repository: the content-oblivious algorithms of internal/core run on
+// Sim[pulse.Pulse], the content-carrying baselines of internal/baseline on
+// Sim[baseline.Msg].
+//
+// Asynchrony is modeled exactly as in Section 2 of the paper: channels never
+// drop, duplicate, or inject messages; delays are unbounded but finite. Any
+// asynchronous execution is fully determined by the order in which queued
+// messages are delivered, so the adversary is a Scheduler that repeatedly
+// picks the next channel to deliver from. Per-channel FIFO order is always
+// preserved (for contentless pulses this is unobservable; for the baselines
+// it matters).
+//
+// The simulator enforces the model's correctness obligations as it runs:
+// a message sent toward a terminated node, or a node terminating with a
+// non-empty incoming queue, violates quiescent termination and aborts the
+// run with an error; a reachable state with queued messages but no
+// deliverable one is a permanent stall and likewise aborts.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// Sentinel errors reported by Run and the stepping API.
+var (
+	// ErrStalled: messages are queued but no machine is ready to consume
+	// any of them; since nodes are event-driven the network can never make
+	// progress again.
+	ErrStalled = errors.New("sim: stalled with undeliverable messages in flight")
+
+	// ErrStepLimit: the delivery budget was exhausted before quiescence.
+	ErrStepLimit = errors.New("sim: step limit exceeded")
+
+	// ErrPostTerminationSend: a handler sent a message toward a node that
+	// had already terminated, violating quiescent termination.
+	ErrPostTerminationSend = errors.New("sim: message sent to terminated node")
+
+	// ErrTerminatedNonEmpty: a node terminated while messages addressed to
+	// it were still queued or in flight, violating quiescent termination.
+	ErrTerminatedNonEmpty = errors.New("sim: node terminated with pending incoming messages")
+
+	// ErrMachineFault: a machine reported a protocol fault via Status().Err.
+	ErrMachineFault = errors.New("sim: machine fault")
+)
+
+// EventKind distinguishes the two things that can happen in an event-driven
+// network: a node waking up for the first time, and a message delivery.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvInit EventKind = iota + 1
+	EvDeliver
+)
+
+// SendRec records one message emission for observers.
+type SendRec struct {
+	From int
+	Port pulse.Port
+	Dir  pulse.Direction
+	To   ring.Endpoint
+}
+
+// Event describes one simulator step for observers. Payloads are not
+// included; observers needing algorithm state introspect machines directly.
+type Event struct {
+	Kind  EventKind
+	Step  uint64
+	Node  int
+	Port  pulse.Port      // delivery port (EvDeliver only)
+	Dir   pulse.Direction // arrival direction (EvDeliver only)
+	Sends []SendRec       // emissions of this handler invocation
+}
+
+// Result summarizes a finished (or aborted) run.
+type Result struct {
+	N                int
+	Steps            uint64 // handler invocations (inits + deliveries)
+	Sent             uint64 // total messages sent
+	Delivered        uint64 // total messages delivered
+	SentCW           uint64 // messages sent clockwise
+	SentCCW          uint64 // messages sent counterclockwise
+	Quiescent        bool   // no messages left anywhere
+	AllTerminated    bool
+	Leader           int   // index of the unique leader, or -1
+	Leaders          []int // all nodes currently reporting Leader
+	Statuses         []node.Status
+	TerminationOrder []int // node indices in the order they terminated
+}
+
+// Sim is a single-use simulation of one ring execution. Create with New,
+// then either call Run, or drive manually with InitNode/Deliver for
+// fine-grained schedule control.
+type Sim[M any] struct {
+	topo     ring.Topology
+	machines []node.Machine[M]
+	sched    Scheduler
+	obs      []Observer[M]
+
+	queues  [][]entry[M] // per channel; channel id = node*2 + port
+	inited  []bool
+	termAt  []uint64 // step+1 at which node terminated; 0 = live
+	ordTerm []int
+
+	chanDir []pulse.Direction // direction of travel on each channel
+
+	step      uint64
+	seq       uint64
+	sent      uint64
+	delivered uint64
+	sentCW    uint64
+	sentCCW   uint64
+
+	scratch []int // reusable deliverable buffer
+	em      emitter[M]
+	failed  error
+}
+
+type entry[M any] struct {
+	seq uint64
+	msg M
+}
+
+// Observer receives every simulator event; returning an error aborts the
+// run. Observers run after the event's sends have been enqueued and all
+// built-in violation checks have passed.
+type Observer[M any] interface {
+	OnEvent(e *Event, s *Sim[M]) error
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc[M any] func(e *Event, s *Sim[M]) error
+
+// OnEvent implements Observer.
+func (f ObserverFunc[M]) OnEvent(e *Event, s *Sim[M]) error { return f(e, s) }
+
+// Option configures a Sim.
+type Option[M any] func(*Sim[M])
+
+// WithObserver attaches an observer; multiple observers run in order.
+func WithObserver[M any](o Observer[M]) Option[M] {
+	return func(s *Sim[M]) { s.obs = append(s.obs, o) }
+}
+
+// New builds a simulation of machines on topology t driven by sched.
+// len(machines) must equal t.N().
+func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, opts ...Option[M]) (*Sim[M], error) {
+	if len(machines) != t.N() {
+		return nil, fmt.Errorf("sim: %d machines for %d nodes", len(machines), t.N())
+	}
+	if sched == nil {
+		return nil, errors.New("sim: nil scheduler")
+	}
+	n := t.N()
+	s := &Sim[M]{
+		topo:     t,
+		machines: machines,
+		sched:    sched,
+		queues:   make([][]entry[M], 2*n),
+		inited:   make([]bool, n),
+		termAt:   make([]uint64, n),
+		chanDir:  make([]pulse.Direction, 2*n),
+	}
+	for k := 0; k < n; k++ {
+		for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
+			// Channel into (k, p) carries messages traveling opposite to
+			// the direction k would send out of p.
+			s.chanDir[chanID(k, p)] = t.ArrivalDirection(k, p)
+		}
+	}
+	s.em.s = s
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+func chanID(k int, p pulse.Port) int { return 2*k + int(p) }
+
+// ChanNode returns the receiving node of channel c.
+func ChanNode(c int) int { return c / 2 }
+
+// ChanPort returns the receiving port of channel c.
+func ChanPort(c int) pulse.Port { return pulse.Port(c % 2) }
+
+// emitter buffers a handler's sends so they take effect atomically, with
+// clockwise sends enqueued first. That ordering realizes the canonical
+// scheduler's tie-break of Definition 21 ("prioritizing CW pulses" among
+// pulses emitted at the same instant) and is harmless for every other
+// scheduler.
+type emitter[M any] struct {
+	s    *Sim[M]
+	from int
+	buf  []pendingSend[M]
+}
+
+type pendingSend[M any] struct {
+	port pulse.Port
+	msg  M
+}
+
+// Send implements node.Emitter.
+func (e *emitter[M]) Send(p pulse.Port, m M) {
+	if !p.Valid() {
+		panic(fmt.Sprintf("sim: send on invalid port %d", p))
+	}
+	e.buf = append(e.buf, pendingSend[M]{port: p, msg: m})
+}
+
+func (s *Sim[M]) flushSends(from int, ev *Event) error {
+	buf := s.em.buf
+	// Clockwise sends first (stable within each class).
+	for pass := 0; pass < 2; pass++ {
+		want := pulse.CW
+		if pass == 1 {
+			want = pulse.CCW
+		}
+		for _, ps := range buf {
+			if s.topo.DirectionOf(from, ps.port) != want {
+				continue
+			}
+			to := s.topo.Peer(from, ps.port)
+			if s.termAt[to.Node] != 0 {
+				return fmt.Errorf("%w: node %d sent %s toward node %d",
+					ErrPostTerminationSend, from, want, to.Node)
+			}
+			s.seq++
+			c := chanID(to.Node, to.Port)
+			s.queues[c] = append(s.queues[c], entry[M]{seq: s.seq, msg: ps.msg})
+			s.sent++
+			if want == pulse.CW {
+				s.sentCW++
+			} else {
+				s.sentCCW++
+			}
+			ev.Sends = append(ev.Sends, SendRec{From: from, Port: ps.port, Dir: want, To: to})
+		}
+	}
+	s.em.buf = s.em.buf[:0]
+	return nil
+}
+
+// afterHandler performs the built-in checks and notifies observers.
+func (s *Sim[M]) afterHandler(k int, ev *Event) error {
+	st := s.machines[k].Status()
+	if st.Err != nil {
+		return fmt.Errorf("%w: node %d: %v", ErrMachineFault, k, st.Err)
+	}
+	if st.Terminated && s.termAt[k] == 0 {
+		s.termAt[k] = s.step + 1
+		s.ordTerm = append(s.ordTerm, k)
+		if len(s.queues[chanID(k, pulse.Port0)]) != 0 || len(s.queues[chanID(k, pulse.Port1)]) != 0 {
+			return fmt.Errorf("%w: node %d", ErrTerminatedNonEmpty, k)
+		}
+	}
+	for _, o := range s.obs {
+		if err := o.OnEvent(ev, s); err != nil {
+			return fmt.Errorf("sim: observer: %w", err)
+		}
+	}
+	return nil
+}
+
+// InitNode wakes node k (its Machine.Init runs and may send). Idempotence
+// is an error: each node inits exactly once.
+func (s *Sim[M]) InitNode(k int) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if k < 0 || k >= s.topo.N() {
+		return fmt.Errorf("sim: init of node %d outside [0,%d)", k, s.topo.N())
+	}
+	if s.inited[k] {
+		return fmt.Errorf("sim: node %d already initialized", k)
+	}
+	s.inited[k] = true
+	s.step++
+	ev := Event{Kind: EvInit, Step: s.step, Node: k}
+	s.em.from = k
+	s.machines[k].Init(&s.em)
+	if err := s.flushSends(k, &ev); err != nil {
+		return s.fail(err)
+	}
+	if err := s.afterHandler(k, &ev); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+func (s *Sim[M]) fail(err error) error {
+	if s.failed == nil {
+		s.failed = err
+	}
+	return err
+}
+
+// deliverableInto appends the ids of channels with a queued message whose
+// receiving machine is initialized, unterminated, and Ready.
+func (s *Sim[M]) deliverableInto(dst []int) []int {
+	for c, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		k := ChanNode(c)
+		if !s.inited[k] || s.termAt[k] != 0 {
+			continue
+		}
+		if !s.machines[k].Ready(ChanPort(c)) {
+			continue
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// Deliverable returns the ids of channels the scheduler may deliver from
+// right now. The returned slice is valid until the next simulator step.
+func (s *Sim[M]) Deliverable() []int {
+	s.scratch = s.deliverableInto(s.scratch[:0])
+	return s.scratch
+}
+
+// Deliver pops the head message of channel c and runs the receiver's
+// handler. c must currently be deliverable.
+func (s *Sim[M]) Deliver(c int) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if c < 0 || c >= len(s.queues) || len(s.queues[c]) == 0 {
+		return fmt.Errorf("sim: deliver on empty or invalid channel %d", c)
+	}
+	k, p := ChanNode(c), ChanPort(c)
+	switch {
+	case !s.inited[k]:
+		return fmt.Errorf("sim: deliver to uninitialized node %d", k)
+	case s.termAt[k] != 0:
+		return s.fail(fmt.Errorf("%w: delivery attempted to node %d", ErrPostTerminationSend, k))
+	case !s.machines[k].Ready(p):
+		return fmt.Errorf("sim: deliver on non-ready port %s of node %d", p, k)
+	}
+	head := s.queues[c][0]
+	s.queues[c] = s.queues[c][1:]
+	s.delivered++
+	s.step++
+	ev := Event{Kind: EvDeliver, Step: s.step, Node: k, Port: p, Dir: s.chanDir[c]}
+	s.em.from = k
+	s.machines[k].OnMsg(p, head.msg, &s.em)
+	if err := s.flushSends(k, &ev); err != nil {
+		return s.fail(err)
+	}
+	if err := s.afterHandler(k, &ev); err != nil {
+		return s.fail(err)
+	}
+	return nil
+}
+
+// InFlight returns the number of queued (sent but undelivered) messages.
+func (s *Sim[M]) InFlight() uint64 { return s.sent - s.delivered }
+
+// Quiescent reports that every node has initialized and no message is
+// queued anywhere: by event-drivenness, no further state change can occur.
+func (s *Sim[M]) Quiescent() bool {
+	for _, in := range s.inited {
+		if !in {
+			return false
+		}
+	}
+	return s.InFlight() == 0
+}
+
+// Machine returns node k's machine for introspection by observers/tests.
+func (s *Sim[M]) Machine(k int) node.Machine[M] { return s.machines[k] }
+
+// Topology returns the simulated ring.
+func (s *Sim[M]) Topology() ring.Topology { return s.topo }
+
+// Step returns the number of handler invocations so far.
+func (s *Sim[M]) Step() uint64 { return s.step }
+
+// QueueLen returns the number of messages queued on channel c.
+func (s *Sim[M]) QueueLen(c int) int { return len(s.queues[c]) }
+
+// headSeq returns the send sequence number of channel c's oldest message.
+func (s *Sim[M]) headSeq(c int) uint64 { return s.queues[c][0].seq }
+
+// Run initializes every node (in index order, which is itself just one
+// admissible schedule; use InitNode for adversarial wake-ups) and delivers
+// messages as chosen by the scheduler until quiescence. limit bounds the
+// total number of handler invocations.
+func (s *Sim[M]) Run(limit uint64) (Result, error) {
+	for k := 0; k < s.topo.N(); k++ {
+		if s.inited[k] {
+			continue
+		}
+		if err := s.InitNode(k); err != nil {
+			return s.Result(), err
+		}
+	}
+	return s.RunDeliveries(limit)
+}
+
+// RunDeliveries delivers until quiescence without initializing anyone;
+// callers must have performed the wake-ups they want first (all nodes, for
+// the standard model).
+func (s *Sim[M]) RunDeliveries(limit uint64) (Result, error) {
+	if s.failed != nil {
+		return s.Result(), s.failed
+	}
+	view := view[M]{s: s}
+	for {
+		if s.step >= limit {
+			return s.Result(), s.fail(fmt.Errorf("%w (%d)", ErrStepLimit, limit))
+		}
+		ds := s.Deliverable()
+		if len(ds) == 0 {
+			if s.InFlight() == 0 {
+				return s.Result(), nil
+			}
+			if s.allTerminated() {
+				return s.Result(), s.fail(fmt.Errorf("%w: %d in flight after all nodes terminated",
+					ErrTerminatedNonEmpty, s.InFlight()))
+			}
+			return s.Result(), s.fail(fmt.Errorf("%w: %d in flight", ErrStalled, s.InFlight()))
+		}
+		c := s.sched.Next(&view)
+		if err := s.Deliver(c); err != nil {
+			return s.Result(), err
+		}
+	}
+}
+
+func (s *Sim[M]) allTerminated() bool {
+	for k := range s.machines {
+		if s.termAt[k] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Result snapshots the current outcome; valid at any point, not only after
+// quiescence.
+func (s *Sim[M]) Result() Result {
+	n := s.topo.N()
+	r := Result{
+		N:             n,
+		Steps:         s.step,
+		Sent:          s.sent,
+		Delivered:     s.delivered,
+		SentCW:        s.sentCW,
+		SentCCW:       s.sentCCW,
+		Quiescent:     s.Quiescent(),
+		AllTerminated: s.allTerminated(),
+		Leader:        -1,
+		Statuses:      make([]node.Status, n),
+	}
+	r.TerminationOrder = append(r.TerminationOrder, s.ordTerm...)
+	for k := 0; k < n; k++ {
+		st := s.machines[k].Status()
+		r.Statuses[k] = st
+		if st.State == node.StateLeader {
+			r.Leaders = append(r.Leaders, k)
+		}
+	}
+	if len(r.Leaders) == 1 {
+		r.Leader = r.Leaders[0]
+	}
+	return r
+}

@@ -1,0 +1,98 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coleader/internal/stats"
+)
+
+func TestTableText(t *testing.T) {
+	tb := stats.NewTable("demo", "n", "pulses", "ratio")
+	tb.AddRow(4, 36, 1.5)
+	tb.AddRow(16, 528, 2.0)
+	out := tb.String()
+	for _, want := range []string{"demo", "n", "pulses", "ratio", "36", "528", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := stats.NewTable("md", "a", "b")
+	tb.AddRow("x", 1)
+	out := tb.Markdown()
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "| x | 1 |") {
+		t.Errorf("markdown malformed:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.500",
+		-2:     "-2",
+		0.1234: "0.123",
+	}
+	for in, want := range cases {
+		if got := stats.FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 || s.Sum != 15 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v, want sqrt(2)", s.StdDev)
+	}
+	if got := stats.Summarize(nil); got.N != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+	one := stats.Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.StdDev != 0 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := stats.Summarize([]float64{0, 10})
+	if s.P50 != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", s.P50)
+	}
+	if s.P90 != 9 {
+		t.Errorf("P90 of {0,10} = %v, want 9", s.P90)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := stats.Ratio(10, 4); got != "2.50x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := stats.Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio by zero = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := stats.NewTable("csv", "a", "b")
+	tb.AddRow("x,y", 2) // embedded comma must be quoted
+	out := tb.CSV()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "\"x,y\",2") {
+		t.Errorf("CSV quoting broken:\n%s", out)
+	}
+	if strings.Contains(out, "csv") {
+		t.Error("CSV should not embed the title")
+	}
+}

@@ -1,0 +1,138 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a LinePlot. Ys must align with the plot's
+// shared x labels; NaN marks a missing point.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// seriesMarks are assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LinePlot renders multiple series against shared x labels as an ASCII
+// chart. height is the number of plot rows; logY switches the y axis to
+// log10 (points <= 0 are dropped). Collisions print the later series'
+// mark. It is deliberately simple: the experiments' curves span orders of
+// magnitude and only their shape matters here — exact values live in the
+// tables.
+func LinePlot(title string, xLabels []string, series []Series, height int, logY bool) string {
+	if height < 2 {
+		height = 2
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+
+	// Scale.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	val := func(y float64) (float64, bool) {
+		if math.IsNaN(y) {
+			return 0, false
+		}
+		if logY {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if v, ok := val(y); ok {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) { // nothing plottable
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	// Layout: one column block per x position.
+	const colWidth = 6
+	cols := len(xLabels)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * frac))
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, y := range s.Ys {
+			if xi >= cols {
+				break
+			}
+			v, ok := val(y)
+			if !ok {
+				continue
+			}
+			grid[rowOf(v)][xi*colWidth+colWidth/2] = mark
+		}
+	}
+
+	// Y-axis labels on the first/last rows.
+	axisVal := func(v float64) float64 {
+		if logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	yLabel := func(r int) string {
+		switch r {
+		case 0:
+			return trimNum(axisVal(hi))
+		case height - 1:
+			return trimNum(axisVal(lo))
+		default:
+			return ""
+		}
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", yLabel(r), grid[r])
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", cols*colWidth))
+
+	// X labels.
+	fmt.Fprintf(&b, "%10s  ", "")
+	for _, x := range xLabels {
+		fmt.Fprintf(&b, "%-*s", colWidth, clip(x, colWidth-1))
+	}
+	b.WriteByte('\n')
+
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	if logY {
+		fmt.Fprintf(&b, "%10s  (log10 y-axis)\n", "")
+	}
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2g", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

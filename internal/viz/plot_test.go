@@ -1,0 +1,76 @@
+package viz_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coleader/internal/viz"
+)
+
+func TestLinePlotBasics(t *testing.T) {
+	out := viz.LinePlot("demo",
+		[]string{"1", "2", "3"},
+		[]viz.Series{
+			{Name: "up", Ys: []float64{1, 10, 100}},
+			{Name: "flat", Ys: []float64{10, 10, 10}},
+		}, 10, true)
+	for _, want := range []string{"demo", "* = up", "o = flat", "(log10 y-axis)", "100", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The increasing series occupies distinct rows: top row has a mark at
+	// the last column, bottom row at the first.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row missing max point:\n%s", out)
+	}
+}
+
+func TestLinePlotLinearScale(t *testing.T) {
+	out := viz.LinePlot("", []string{"a", "b"}, []viz.Series{
+		{Name: "s", Ys: []float64{0, 4}},
+	}, 5, false)
+	if strings.Contains(out, "log10") {
+		t.Error("linear plot mentions log scale")
+	}
+	if !strings.Contains(out, "4") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLinePlotEmptyAndDegenerate(t *testing.T) {
+	out := viz.LinePlot("t", []string{"x"}, []viz.Series{
+		{Name: "none", Ys: []float64{math.NaN()}},
+	}, 5, false)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot did not say so:\n%s", out)
+	}
+	// Log scale drops non-positive values.
+	out = viz.LinePlot("t", []string{"x"}, []viz.Series{
+		{Name: "neg", Ys: []float64{-5}},
+	}, 5, true)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("log plot accepted negative value:\n%s", out)
+	}
+	// A single constant value must not divide by zero.
+	out = viz.LinePlot("t", []string{"x"}, []viz.Series{
+		{Name: "one", Ys: []float64{7}},
+	}, 5, false)
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestLinePlotManySeriesCycleMarks(t *testing.T) {
+	series := make([]viz.Series, 10)
+	for i := range series {
+		series[i] = viz.Series{Name: "s", Ys: []float64{float64(i + 1)}}
+	}
+	out := viz.LinePlot("", []string{"x"}, series, 12, false)
+	// Marks cycle after 8 series; the 9th reuses '*'.
+	if strings.Count(out, "* = s") != 2 {
+		t.Errorf("mark cycling broken:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Package viz renders executions as ASCII space-time diagrams: one column
+// per ring node, one row per event, with pulse receptions and emissions
+// marked per direction. It consumes the event stream captured by
+// trace.Recorder and is wired into `cmd/ringsim -diagram`.
+//
+// Reading a diagram: time flows downward; within a node's column,
+//
+//	I        the node's start-up (Init) ran
+//	*cw      consumed a clockwise pulse (i.e. one from its CCW neighbor)
+//	*ccw     consumed a counterclockwise pulse
+//	+cw +ccw emissions performed by that handler
+//
+// A clockwise pulse emitted at node k is consumed in a later row at node
+// (k+1) mod n, so diagonal "staircases" of *cw markers moving right are
+// clockwise waves, and staircases of *ccw moving left are counterclockwise
+// waves — Algorithm 2's two interleaved instances are directly visible.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"coleader/internal/pulse"
+	"coleader/internal/sim"
+)
+
+// cellWidth is the fixed column width of the diagram.
+const cellWidth = 12
+
+// SpaceTime renders the event stream for an n-node ring. Events must come
+// from a single run, in order (as trace.Recorder captures them).
+func SpaceTime(events []sim.Event, n int) string {
+	var b strings.Builder
+	// Header.
+	fmt.Fprintf(&b, "%6s", "step")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, " %-*s", cellWidth, fmt.Sprintf("node%d", k))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%6s", "----")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, " %-*s", cellWidth, strings.Repeat("-", cellWidth))
+	}
+	b.WriteByte('\n')
+
+	for i := range events {
+		e := &events[i]
+		fmt.Fprintf(&b, "%6d", e.Step)
+		for k := 0; k < n; k++ {
+			cell := ""
+			if k == e.Node {
+				cell = renderCell(e)
+			}
+			fmt.Fprintf(&b, " %-*s", cellWidth, clip(cell, cellWidth))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderCell(e *sim.Event) string {
+	var parts []string
+	switch e.Kind {
+	case sim.EvInit:
+		parts = append(parts, "I")
+	case sim.EvDeliver:
+		parts = append(parts, "*"+dirName(e.Dir))
+	}
+	for _, s := range e.Sends {
+		parts = append(parts, "+"+dirName(s.Dir))
+	}
+	return strings.Join(parts, " ")
+}
+
+func dirName(d pulse.Direction) string {
+	if d == pulse.CW {
+		return "cw"
+	}
+	return "ccw"
+}
+
+func clip(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	return s[:w-1] + "~"
+}
+
+// ChannelLoad summarizes per-channel traffic: deliveries on each directed
+// channel, keyed by receiving endpoint. Useful for spotting direction
+// asymmetries (Algorithm 2's counterclockwise surplus of exactly n, the
+// defective layer's clockwise-heavy frames).
+func ChannelLoad(events []sim.Event, n int) string {
+	cw := make([]int, n)
+	ccw := make([]int, n)
+	for i := range events {
+		e := &events[i]
+		if e.Kind != sim.EvDeliver {
+			continue
+		}
+		if e.Dir == pulse.CW {
+			cw[e.Node]++
+		} else {
+			ccw[e.Node]++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %-10s\n", "node", "cw recv", "ccw recv")
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "%-6d %-10d %-10d\n", k, cw[k], ccw[k])
+	}
+	return b.String()
+}
+
+// Histogram renders a one-line-per-bucket ASCII histogram of values (used
+// by the experiment harness for pulse distributions). maxBar is the bar
+// width of the largest bucket.
+func Histogram(title string, buckets []string, counts []int, maxBar int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	max := 0
+	width := 0
+	for i, c := range counts {
+		if c > max {
+			max = c
+		}
+		if len(buckets[i]) > width {
+			width = len(buckets[i])
+		}
+	}
+	for i, c := range counts {
+		bar := 0
+		if max > 0 {
+			bar = c * maxBar / max
+		}
+		fmt.Fprintf(&b, "%-*s %6d %s\n", width, buckets[i], c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

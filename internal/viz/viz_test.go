@@ -1,0 +1,101 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+	"coleader/internal/trace"
+	"coleader/internal/viz"
+)
+
+func recordRun(t *testing.T, ids []uint64) ([]sim.Event, sim.Result) {
+	t.Helper()
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	s, err := sim.New(topo, ms, sim.Canonical{}, sim.WithObserver[pulse.Pulse](rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events, res
+}
+
+func TestSpaceTime(t *testing.T) {
+	events, res := recordRun(t, []uint64{1, 2})
+	out := viz.SpaceTime(events, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + one row per event.
+	if want := 2 + int(res.Steps); len(lines) != want {
+		t.Fatalf("diagram has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	if !strings.Contains(lines[0], "node0") || !strings.Contains(lines[0], "node1") {
+		t.Errorf("header malformed: %q", lines[0])
+	}
+	for _, marker := range []string{"I", "*cw", "*ccw", "+cw", "+ccw"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("diagram missing marker %q:\n%s", marker, out)
+		}
+	}
+}
+
+func TestChannelLoad(t *testing.T) {
+	events, _ := recordRun(t, []uint64{1, 2, 3})
+	out := viz.ChannelLoad(events, 3)
+	if !strings.Contains(out, "cw recv") {
+		t.Errorf("load table malformed:\n%s", out)
+	}
+	// Every node of Algorithm 2 receives exactly ID_max cw and ID_max+1
+	// ccw pulses: check one row textually.
+	if !strings.Contains(out, "3          4") {
+		t.Errorf("expected per-node counts 3 cw / 4 ccw:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := viz.Histogram("demo", []string{"a", "bb"}, []int{2, 4}, 8)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "########") {
+		t.Errorf("histogram malformed:\n%s", out)
+	}
+	// The smaller bucket gets half the bar.
+	if !strings.Contains(out, "####\n") {
+		t.Errorf("expected a 4-hash bar:\n%s", out)
+	}
+	empty := viz.Histogram("", []string{"x"}, []int{0}, 8)
+	if strings.Contains(empty, "#") {
+		t.Errorf("zero bucket drew a bar:\n%s", empty)
+	}
+}
+
+func TestClipLongCells(t *testing.T) {
+	// A handler with many sends overflows the column and must be clipped,
+	// not corrupt the grid.
+	events := []sim.Event{{
+		Kind: sim.EvDeliver, Step: 1, Node: 0, Dir: pulse.CW,
+		Sends: []sim.SendRec{
+			{Dir: pulse.CW}, {Dir: pulse.CCW}, {Dir: pulse.CW}, {Dir: pulse.CCW},
+		},
+	}}
+	out := viz.SpaceTime(events, 2)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if len(line) > 6+2*(12+1) {
+			t.Errorf("line overflows grid: %q", line)
+		}
+	}
+	if !strings.Contains(out, "~") {
+		t.Errorf("expected clip marker:\n%s", out)
+	}
+}

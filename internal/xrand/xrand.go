@@ -1,0 +1,70 @@
+// Package xrand provides a tiny deterministic PRNG (SplitMix64) whose
+// entire state is one word. Unlike math/rand's generators it is cheaply
+// cloneable and serializable, which is what lets randomized machines
+// (core.Alg3Resample) participate in exhaustive schedule exploration: the
+// model checker snapshots machine states, and a PRNG inside a machine must
+// snapshot with it.
+//
+// SplitMix64 is statistically strong for simulation purposes and is the
+// standard seeder for larger generators; it is emphatically not a
+// cryptographic source.
+package xrand
+
+import "fmt"
+
+// SplitMix is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; use New for an explicit seed.
+type SplitMix struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *SplitMix { return &SplitMix{state: uint64(seed)} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *SplitMix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Int63n returns a uniform value in [0, n); it panics for n <= 0,
+// mirroring math/rand. The modulo bias is below 2^-52 for every n the
+// simulations use (n << 2^63) and irrelevant to the statistical tests.
+func (s *SplitMix) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("xrand: Int63n(%d)", n))
+	}
+	return int64(s.Uint64() >> 1 % uint64(n))
+}
+
+// Intn returns a uniform value in [0, n); it panics for n <= 0.
+func (s *SplitMix) Intn(n int) int { return int(s.Int63n(int64(n))) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Clone returns an independent copy that will produce the same future
+// stream as the original.
+func (s *SplitMix) Clone() *SplitMix {
+	cp := *s
+	return &cp
+}
+
+// State returns the generator's full internal state (for state keys).
+func (s *SplitMix) State() uint64 { return s.state }
+
+// Geometric returns the number of successive trials with probability p
+// that succeed before the first failure: Pr[G >= k] = p^k. It is the
+// BitCount distribution of the paper's Algorithm 4.
+func (s *SplitMix) Geometric(p float64) int {
+	count := 0
+	for s.Float64() < p {
+		count++
+	}
+	return count
+}
