@@ -1,0 +1,147 @@
+// Command oblint is the model-invariant static analyzer for this
+// repository. It mechanically enforces the discipline the paper's results
+// rest on — content-obliviousness, determinism, layering, and atomic
+// hygiene — across every package in the module. See internal/lint for the
+// checks and DESIGN.md ("Enforced model invariants") for the policy.
+//
+// Usage:
+//
+//	go run ./cmd/oblint ./...          # lint the whole module
+//	go run ./cmd/oblint -json ./...    # machine-readable findings for CI
+//	go run ./cmd/oblint -list          # list the enforced checks
+//
+// Exit status: 0 when clean, 1 when findings exist, 2 on load errors.
+// Suppressed findings (//oblint:allow) never fail the run but are counted
+// on stderr and included in -json output so CI can diff them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coleader/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list enforced checks and exit")
+	only := flag.String("check", "", "comma-separated subset of checks to run")
+	dir := flag.String("C", ".", "directory inside the target module")
+	typeErrs := flag.Bool("typeerrors", false, "also print soft type-check errors")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: oblint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.AllChecks() {
+			fmt.Println(c)
+		}
+		return
+	}
+
+	root, module, err := lint.FindModule(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(root, module)
+
+	// Package arguments: "./..." (or none) means the whole module;
+	// anything else is a module-relative package list.
+	var pkgs []*lint.Package
+	args := flag.Args()
+	all := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == module+"/..." {
+			all = true
+		}
+	}
+	if all {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, a := range args {
+			ip := strings.TrimPrefix(filepath.ToSlash(a), "./")
+			if ip != module && !strings.HasPrefix(ip, module+"/") {
+				ip = module + "/" + ip
+			}
+			p, err := loader.Load(ip)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	cfg := lint.DefaultConfig()
+	if *only != "" {
+		known := make(map[string]bool)
+		for _, c := range lint.AllChecks() {
+			known[c] = true
+		}
+		for _, c := range strings.Split(*only, ",") {
+			if !known[c] {
+				fatal(fmt.Errorf("unknown check %q (see -list); a typo here would silently disable the gate", c))
+			}
+			cfg.Checks = append(cfg.Checks, c)
+		}
+	}
+	runner := &lint.Runner{Config: cfg, Fset: loader.Fset}
+	res := runner.Run(pkgs)
+
+	if *typeErrs {
+		for _, p := range pkgs {
+			for _, e := range p.TypeErrors {
+				fmt.Fprintf(os.Stderr, "typecheck %s: %v\n", p.Path, e)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(relativize(res, root)); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range relativize(res, root).Findings {
+			fmt.Println(f)
+		}
+		if n := len(res.Suppressed); n > 0 {
+			fmt.Fprintf(os.Stderr, "oblint: %d finding(s) suppressed by //oblint:allow\n", n)
+		}
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "oblint: %d finding(s)\n", len(res.Findings))
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites absolute file paths relative to the module root for
+// stable, diffable output.
+func relativize(res lint.Result, root string) lint.Result {
+	rel := func(fs []lint.Finding) []lint.Finding {
+		out := make([]lint.Finding, len(fs))
+		for i, f := range fs {
+			if r, err := filepath.Rel(root, f.File); err == nil {
+				f.File = filepath.ToSlash(r)
+			}
+			out[i] = f
+		}
+		return out
+	}
+	return lint.Result{Findings: rel(res.Findings), Suppressed: rel(res.Suppressed)}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oblint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,102 @@
+package lint
+
+// Concurrency hygiene: in the live runtime a struct field that is accessed
+// through sync/atomic anywhere must be accessed that way everywhere — one
+// plain read racing one atomic write is still a data race, and the race
+// detector only catches it when a schedule realizes it. The check collects
+// every field passed by address to a sync/atomic function, then flags any
+// other plain selector access of the same field.
+//
+// Fields of the atomic.Int64-style wrapper types are immune by
+// construction (their state is unexported), which is why the runtime
+// prefers them; this check guards the pointer-style API.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func checkAtomicMixed(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.AtomicPkgs) {
+		return
+	}
+
+	// Pass 1: fields (as types.Var objects) that reach sync/atomic by
+	// address, and the selector nodes doing so (those are the sanctioned
+	// accesses).
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(p, call.Fun) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldOf(p, sel); v != nil {
+					atomicFields[v] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other access of those fields is a plain (racy) access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldOf(p, sel)
+			if v == nil || !atomicFields[v] {
+				return true
+			}
+			report(sel.Sel.Pos(), CheckAtomicMixed,
+				fmt.Sprintf("plain access of field %s, which is accessed via sync/atomic elsewhere; mixing the two races", v.Name()))
+			return true
+		})
+	}
+}
+
+// isAtomicFunc reports whether fun resolves to a package-level function of
+// sync/atomic.
+func isAtomicFunc(p *Package, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf returns the struct field object a selector expression resolves
+// to, or nil if the selector is not a field access.
+func fieldOf(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,147 @@
+package lint
+
+// Content-obliviousness checks (paper Section 2): algorithms in the
+// oblivious packages may depend only on the order and ports of pulse
+// arrivals. Three mechanical proxies enforce that:
+//
+//   - oblivious-import: no content-carrying imports (internal/baseline,
+//     encoding/*). If a package can serialize, it can smuggle content.
+//   - oblivious-chan: every declared channel carries pulse.Pulse. The
+//     runtimes move inter-node traffic over channels, so a non-pulse
+//     channel is a content-bearing side link.
+//   - oblivious-payload: an OnMsg handler may forward its payload verbatim
+//     to an inner handler (decorators such as core.Redundant do) but may
+//     never inspect it — not in a condition, not in an expression, not
+//     stored. The payload's information content must stay zero.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+func checkObliviousImport(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.Oblivious) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if matchPath(path, r.Config.ContentImports) {
+				report(imp.Pos(), CheckObliviousImport,
+					fmt.Sprintf("content-oblivious package imports content-carrying %q", path))
+			}
+		}
+	}
+}
+
+func checkObliviousChan(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.Oblivious) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ch, ok := n.(*ast.ChanType)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[ch.Value]
+			if !ok {
+				return true
+			}
+			if typeName(tv.Type) != r.Config.PulseType {
+				report(ch.Pos(), CheckObliviousChan,
+					fmt.Sprintf("channel of %s in content-oblivious package (inter-node traffic must be %s)",
+						tv.Type, r.Config.PulseType))
+			}
+			return true
+		})
+	}
+}
+
+// typeName renders a type as "path.Name" for named types, or its string
+// form otherwise.
+func typeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func checkObliviousPayload(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.Oblivious) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "OnMsg" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			payload := payloadParam(p, fn, r.Config.PulseType)
+			if payload == nil {
+				continue
+			}
+			obj := p.Info.Defs[payload]
+			if obj == nil {
+				continue
+			}
+			walkParents(fn.Body, func(n ast.Node, parents []ast.Node) {
+				id, ok := n.(*ast.Ident)
+				if !ok || p.Info.Uses[id] != obj {
+					return
+				}
+				if isDirectCallArg(id, parents) {
+					return
+				}
+				report(id.Pos(), CheckObliviousPayload,
+					fmt.Sprintf("pulse payload %q inspected in OnMsg (payloads may only be forwarded verbatim; the model allows no content)", id.Name))
+			})
+		}
+	}
+}
+
+// payloadParam returns the identifier of the OnMsg parameter whose type is
+// the pulse type, or nil if the parameter is blank or absent.
+func payloadParam(p *Package, fn *ast.FuncDecl, pulseType string) *ast.Ident {
+	for _, field := range fn.Type.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || typeName(tv.Type) != pulseType {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name
+			}
+		}
+	}
+	return nil
+}
+
+// isDirectCallArg reports whether id appears directly as an argument of a
+// call expression — the one permitted payload use (forwarding).
+func isDirectCallArg(id *ast.Ident, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	call, ok := parents[len(parents)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == id {
+			return true
+		}
+	}
+	return false
+}

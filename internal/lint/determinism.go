@@ -1,0 +1,102 @@
+package lint
+
+// Determinism checks. The model is asynchronous but content- and
+// timing-oblivious: an algorithm's behaviour is a function of arrival
+// order alone, and the simulator's replays must be reproducible from a
+// single seed. Three leaks are closed mechanically:
+//
+//   - det-time: wall-clock calls (time.Now, time.Sleep, ...) outside the
+//     live runtime and cmd/. Timing-dependence is exactly what the model
+//     forbids (Section 2: unbounded but finite delays, no clocks).
+//   - det-globalrand: the global math/rand functions draw from a shared,
+//     effectively unseeded source; randomized machines must thread an
+//     injected *rand.Rand or internal/xrand generator so a run is
+//     reproducible from its seed.
+//   - det-maprange: ranging over a map has randomized iteration order; in
+//     the simulator and core packages that order would leak scheduler
+//     nondeterminism into replays that claim determinism.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Types (time.Duration) and constants (time.Second) remain fine anywhere.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that merely
+// construct explicitly seeded generators.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func checkDetTime(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if matchPath(p.Path, r.Config.TimeExempt) {
+		return
+	}
+	forEachPkgFuncUse(p, "time", func(id *ast.Ident, fn *types.Func) {
+		if forbiddenTimeFuncs[fn.Name()] {
+			report(id.Pos(), CheckDetTime,
+				fmt.Sprintf("wall-clock call time.%s outside the live runtime (model has no clocks; inject timing only in internal/live or cmd/)", fn.Name()))
+		}
+	})
+}
+
+func checkDetGlobalRand(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	forEachPkgFuncUse(p, "math/rand", func(id *ast.Ident, fn *types.Func) {
+		if !allowedRandFuncs[fn.Name()] {
+			report(id.Pos(), CheckDetGlobalRand,
+				fmt.Sprintf("global math/rand.%s draws from the shared source; thread a seeded *rand.Rand or internal/xrand generator instead", fn.Name()))
+		}
+	})
+	forEachPkgFuncUse(p, "math/rand/v2", func(id *ast.Ident, fn *types.Func) {
+		report(id.Pos(), CheckDetGlobalRand,
+			fmt.Sprintf("global math/rand/v2.%s cannot be seeded for replay; thread a seeded *rand.Rand or internal/xrand generator instead", fn.Name()))
+	})
+}
+
+// forEachPkgFuncUse calls visit for every use of a package-level function
+// (not a method) belonging to pkgPath. Identifier-based resolution sees
+// through import aliases.
+func forEachPkgFuncUse(p *Package, pkgPath string, visit func(*ast.Ident, *types.Func)) {
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // method on rand.Rand, time.Timer, ...: fine
+		}
+		visit(id, fn)
+	}
+}
+
+func checkDetMapRange(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.MapRangePkgs) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				report(rng.Pos(), CheckDetMapRange,
+					fmt.Sprintf("range over map %s has randomized order; sort the keys (replays here must be deterministic)", tv.Type))
+			}
+			return true
+		})
+	}
+}

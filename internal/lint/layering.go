@@ -1,0 +1,61 @@
+package lint
+
+// Layering check: the intended import DAG is data (Config.Layers), and any
+// module-internal import not on a package's allowlist is a back-edge. A
+// module package absent from the map entirely must be registered, which
+// makes every new package take an explicit position in the architecture
+// instead of growing ad-hoc dependencies.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func checkLayerDAG(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	c := &r.Config
+	if c.Module == "" {
+		return
+	}
+	inModule := p.Path == c.Module || strings.HasPrefix(p.Path, c.Module+"/")
+	if !inModule || matchPath(p.Path, c.LayerExempt) {
+		return
+	}
+	allowed, registered := c.Layers[p.Path]
+	if !registered {
+		report(p.Files[0].Name.Pos(), CheckLayerDAG,
+			fmt.Sprintf("package %s is not registered in the layering policy (add it to lint.DefaultConfig Layers with its allowed imports)", p.Path))
+		return
+	}
+	allowSet := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		allowSet[a] = true
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != c.Module && !strings.HasPrefix(path, c.Module+"/") {
+				continue // stdlib: not a layering concern
+			}
+			if !allowSet[path] {
+				report(imp.Pos(), CheckLayerDAG,
+					fmt.Sprintf("%s may not import %s (allowed: %s); importing it is a back-edge in the layer DAG",
+						p.Path, path, allowedList(allowed)))
+			}
+		}
+	}
+}
+
+func allowedList(allowed []string) string {
+	if len(allowed) == 0 {
+		return "none"
+	}
+	s := append([]string(nil), allowed...)
+	sort.Strings(s)
+	return quote(s)
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Check names, one per enforced invariant. Each maps to a clause of the
+// paper's model (see DESIGN.md, "Enforced model invariants").
+const (
+	CheckObliviousImport  = "oblivious-import"
+	CheckObliviousChan    = "oblivious-chan"
+	CheckObliviousPayload = "oblivious-payload"
+	CheckDetTime          = "det-time"
+	CheckDetGlobalRand    = "det-globalrand"
+	CheckDetMapRange      = "det-maprange"
+	CheckLayerDAG         = "layer-dag"
+	CheckAtomicMixed      = "atomic-mixed"
+)
+
+// AllChecks lists every check name, in report order.
+func AllChecks() []string {
+	return []string{
+		CheckObliviousImport, CheckObliviousChan, CheckObliviousPayload,
+		CheckDetTime, CheckDetGlobalRand, CheckDetMapRange,
+		CheckLayerDAG, CheckAtomicMixed,
+	}
+}
+
+// Config is the policy a Runner enforces. The zero value enforces nothing;
+// DefaultConfig returns this repository's policy.
+type Config struct {
+	// Module is the module path all package-relative entries are rooted at.
+	Module string
+
+	// Oblivious lists import paths of content-oblivious packages: those
+	// whose algorithms may react only to the order and ports of pulse
+	// arrivals (paper Section 2).
+	Oblivious []string
+
+	// PulseType is the fully qualified contentless message type, e.g.
+	// "coleader/internal/pulse.Pulse". It is the only element type allowed
+	// for channels declared inside oblivious packages.
+	PulseType string
+
+	// ContentImports are import paths (exact or prefix) that carry message
+	// content and are therefore banned inside oblivious packages.
+	ContentImports []string
+
+	// TimeExempt are import paths (exact or prefix) where wall-clock calls
+	// (time.Now, time.Sleep, ...) are permitted. Everywhere else they are
+	// nondeterminism leaks.
+	TimeExempt []string
+
+	// MapRangePkgs are packages whose replays must be deterministic, so
+	// ranging over a map (randomized iteration order) is flagged.
+	MapRangePkgs []string
+
+	// Layers encodes the intended import DAG: package path -> the
+	// module-internal imports it may use. A module package missing from
+	// the map (and not matched by LayerExempt) is an error, which forces
+	// every new package to take a conscious position in the layering.
+	Layers map[string][]string
+
+	// LayerExempt are import paths (exact or prefix) outside the layering
+	// policy, e.g. cmd/ and examples/ which may import anything.
+	LayerExempt []string
+
+	// AtomicPkgs are packages subject to the mixed atomic/plain field
+	// access check.
+	AtomicPkgs []string
+
+	// Checks optionally restricts which checks run; empty means all.
+	Checks []string
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Check      string `json:"check"`
+	Pkg        string `json:"pkg"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Msg)
+}
+
+// Result is the outcome of one Run: active findings fail the build,
+// suppressed ones (silenced by //oblint:allow directives) are reported for
+// tracking but do not fail.
+type Result struct {
+	Findings   []Finding `json:"findings"`
+	Suppressed []Finding `json:"suppressed,omitempty"`
+}
+
+// Runner applies a Config to loaded packages.
+type Runner struct {
+	Config Config
+	Fset   *token.FileSet
+}
+
+type checkFn func(r *Runner, p *Package, report func(pos token.Pos, check, msg string))
+
+func (r *Runner) enabled(name string) bool {
+	if len(r.Config.Checks) == 0 {
+		return true
+	}
+	for _, c := range r.Config.Checks {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every enabled check to every package and splits the findings
+// by suppression state. Findings are sorted by position.
+func (r *Runner) Run(pkgs []*Package) Result {
+	checks := []struct {
+		name string
+		fn   checkFn
+	}{
+		{CheckObliviousImport, checkObliviousImport},
+		{CheckObliviousChan, checkObliviousChan},
+		{CheckObliviousPayload, checkObliviousPayload},
+		{CheckDetTime, checkDetTime},
+		{CheckDetGlobalRand, checkDetGlobalRand},
+		{CheckDetMapRange, checkDetMapRange},
+		{CheckLayerDAG, checkLayerDAG},
+		{CheckAtomicMixed, checkAtomicMixed},
+	}
+	var res Result
+	for _, p := range pkgs {
+		allow := collectDirectives(p, r.Fset)
+		report := func(pos token.Pos, check, msg string) {
+			position := r.Fset.Position(pos)
+			f := Finding{
+				Check: check,
+				Pkg:   p.Path,
+				File:  position.Filename,
+				Line:  position.Line,
+				Col:   position.Column,
+				Msg:   msg,
+			}
+			if allow.allows(position.Filename, position.Line, check) {
+				f.Suppressed = true
+				res.Suppressed = append(res.Suppressed, f)
+				return
+			}
+			res.Findings = append(res.Findings, f)
+		}
+		for _, c := range checks {
+			if r.enabled(c.name) {
+				c.fn(r, p, report)
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].Check < fs[j].Check
+	})
+}
+
+// matchPath reports whether path equals one of the entries or sits below
+// one (prefix match on whole path segments).
+func matchPath(path string, entries []string) bool {
+	for _, e := range entries {
+		if path == e || strings.HasPrefix(path, e+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// directives records //oblint:allow grants: file -> line -> check set. A
+// directive on line L grants L and L+1, so it works both as a trailing
+// comment and as a standalone comment above the offending line.
+type directives map[string]map[int]map[string]bool
+
+func (d directives) allows(file string, line int, check string) bool {
+	return d[file][line][check]
+}
+
+func collectDirectives(p *Package, fset *token.FileSet) directives {
+	d := make(directives)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//oblint:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, check := range strings.Fields(rest) {
+					for _, l := range []int{pos.Line, pos.Line + 1} {
+						if d[pos.Filename] == nil {
+							d[pos.Filename] = make(map[int]map[string]bool)
+						}
+						if d[pos.Filename][l] == nil {
+							d[pos.Filename][l] = make(map[string]bool)
+						}
+						d[pos.Filename][l][check] = true
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// walkParents traverses every node under root, invoking visit with the
+// node and its ancestor stack (innermost last).
+func walkParents(root ast.Node, visit func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// quote renders a path list for messages.
+func quote(paths []string) string {
+	qs := make([]string, len(paths))
+	for i, p := range paths {
+		qs[i] = strconv.Quote(p)
+	}
+	return strings.Join(qs, ", ")
+}

@@ -1,0 +1,79 @@
+package lint
+
+// DefaultConfig is this repository's model-invariant policy. It is data,
+// not code: adding a package means registering it in Layers (the layer-dag
+// check fails otherwise), and widening any rule is a reviewed edit here,
+// not a silent drift.
+func DefaultConfig() Config {
+	const m = "coleader"
+	i := func(name string) string { return m + "/internal/" + name }
+	return Config{
+		Module: m,
+
+		// The packages whose algorithms must be content-oblivious: the
+		// paper's core algorithms, the universal simulation over pulses,
+		// and the lower-bound machinery (paper Sections 3-5).
+		Oblivious: []string{i("core"), i("defective"), i("lowerbound")},
+		PulseType: i("pulse") + ".Pulse",
+		ContentImports: []string{
+			i("baseline"), // content-carrying classical protocols
+			"encoding",    // serialization smuggles content
+		},
+
+		// Wall-clock time exists only where real concurrency does.
+		TimeExempt: []string{m + "/cmd", i("live")},
+
+		// Replay determinism: the simulator and the core algorithms.
+		MapRangePkgs: []string{i("sim"), i("core")},
+
+		// The intended import DAG. Entries list module-internal imports
+		// only; stdlib imports are unconstrained here (the content checks
+		// constrain encoding/*).
+		Layers: map[string][]string{
+			// Foundation: no internal deps.
+			i("pulse"): {},
+			i("xrand"): {},
+			i("stats"): {},
+			i("lint"):  {},
+
+			// Model vocabulary over pulses.
+			i("node"): {i("pulse")},
+			i("ring"): {i("pulse")},
+
+			// Runtimes.
+			i("sim"):  {i("node"), i("pulse"), i("ring")},
+			i("live"): {i("node"), i("pulse"), i("ring")},
+
+			// Algorithms.
+			i("core"):       {i("node"), i("pulse"), i("ring"), i("xrand")},
+			i("defective"):  {i("core"), i("node"), i("pulse")},
+			i("lowerbound"): {i("node"), i("pulse"), i("ring"), i("sim")},
+			i("baseline"):   {i("node"), i("pulse"), i("ring"), i("sim")},
+
+			// Verification and observation layers.
+			i("check"):        {i("node"), i("pulse"), i("ring"), i("sim")},
+			i("trace"):        {i("node"), i("pulse"), i("sim")},
+			i("viz"):          {i("pulse"), i("sim")},
+			i("differential"): {i("live"), i("node"), i("ring"), i("sim")},
+
+			// Harness.
+			i("experiments"): {
+				i("baseline"), i("check"), i("core"), i("defective"),
+				i("lowerbound"), i("node"), i("pulse"), i("ring"),
+				i("sim"), i("stats"), i("trace"),
+			},
+
+			// Facade.
+			m: {
+				i("baseline"), i("core"), i("defective"), i("live"),
+				i("lowerbound"), i("node"), i("pulse"), i("ring"),
+				i("sim"), i("trace"),
+			},
+		},
+		LayerExempt: []string{m + "/cmd", m + "/examples"},
+
+		// The live runtime is the only package with real shared-memory
+		// concurrency.
+		AtomicPkgs: []string{i("live")},
+	}
+}

@@ -1,0 +1,27 @@
+// Package atomicmix is a fixture mixing atomic and plain field access.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64 // accessed via sync/atomic: every access must be atomic
+	cold int64 // never accessed atomically: plain access is fine
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.cold++
+}
+
+func (c *counter) peek() int64 {
+	return c.hits // want "plain access of field hits"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "plain access of field hits"
+	c.cold = 0
+}
+
+func (c *counter) peekAtomically() int64 {
+	return atomic.LoadInt64(&c.hits)
+}

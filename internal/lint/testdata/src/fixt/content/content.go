@@ -1,0 +1,6 @@
+// Package content stands in for a content-carrying package (like
+// internal/baseline) that oblivious packages must not import.
+package content
+
+// Payload is a message with information in it.
+type Payload struct{ V uint64 }

@@ -1,0 +1,44 @@
+// Package det is a fixture with determinism violations.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads and sleeps leak timing into the model.
+func clocky() time.Duration {
+	start := time.Now()          // want "wall-clock call time.Now"
+	time.Sleep(time.Microsecond) // want "wall-clock call time.Sleep"
+	return time.Since(start)     // want "wall-clock call time.Since"
+}
+
+// globalDraw uses the shared global source: unreproducible.
+func globalDraw() int {
+	return rand.Intn(6) // want "global math/rand.Intn draws from the shared source"
+}
+
+// seededDraw threads an explicitly seeded generator: allowed.
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// iterate ranges over a map, whose order is randomized per run.
+func iterate(m map[int]int, s []int) int {
+	total := 0
+	for k := range m { // want "range over map map\\[int\\]int has randomized order"
+		total += k
+	}
+	for _, v := range s { // slices iterate in order: allowed
+		total += v
+	}
+	return total
+}
+
+// suppressed demonstrates the //oblint:allow directive: the finding is
+// recorded as suppressed but does not fail the build.
+func suppressed() int64 {
+	//oblint:allow det-time
+	return time.Now().UnixNano()
+}

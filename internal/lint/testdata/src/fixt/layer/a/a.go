@@ -1,0 +1,5 @@
+// Package a is the bottom fixture layer.
+package a
+
+// Base anchors the layer.
+const Base = 1

@@ -1,0 +1,7 @@
+// Package b sits above a and may import it.
+package b
+
+import "fixt/layer/a"
+
+// Mid builds on the layer below.
+const Mid = a.Base + 1

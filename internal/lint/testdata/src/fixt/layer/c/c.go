@@ -1,0 +1,10 @@
+// Package c may import b but reaches around it to a: a back-edge.
+package c
+
+import (
+	"fixt/layer/a" // want "fixt/layer/c may not import fixt/layer/a"
+	"fixt/layer/b"
+)
+
+// Top skips a layer.
+const Top = a.Base + b.Mid

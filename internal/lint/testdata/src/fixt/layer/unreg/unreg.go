@@ -1,0 +1,5 @@
+// Package unreg is absent from the layering policy.
+package unreg // want "package fixt/layer/unreg is not registered in the layering policy"
+
+// Orphan has no assigned layer.
+const Orphan = 0

@@ -1,0 +1,41 @@
+// Package obliv is a fixture with content-obliviousness violations.
+package obliv
+
+import (
+	"encoding/json" // want "content-oblivious package imports content-carrying \"encoding/json\""
+
+	"fixt/content" // want "content-oblivious package imports content-carrying \"fixt/content\""
+
+	"coleader/internal/pulse"
+)
+
+// Chatty leaks content over a non-pulse channel.
+type Chatty struct {
+	payloads chan uint64 // want "channel of uint64 in content-oblivious package"
+	pulses   chan pulse.Pulse
+}
+
+// Peeker inspects its payload.
+type Peeker struct{ last pulse.Pulse }
+
+// OnMsg stores and compares the payload: both uses are violations.
+func (pk *Peeker) OnMsg(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	pk.last = m               // want "pulse payload \"m\" inspected in OnMsg"
+	if m == (pulse.Pulse{}) { // want "pulse payload \"m\" inspected in OnMsg"
+		forward(p.Opposite(), pulse.Pulse{})
+	}
+}
+
+// Forwarder passes the payload through verbatim: allowed.
+type Forwarder struct{ inner *Peeker }
+
+// OnMsg forwards m as a direct call argument, which the model permits.
+func (fw *Forwarder) OnMsg(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	forward(p, m)
+}
+
+// marshal exists so the json import is used.
+func marshal(c content.Payload) []byte {
+	b, _ := json.Marshal(c)
+	return b
+}

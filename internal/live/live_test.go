@@ -3,6 +3,7 @@ package live_test
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -203,6 +204,135 @@ func TestLiveMatchesSimulator(t *testing.T) {
 	}
 	if resLive.SentCW != 6*8 || resLive.SentCCW != 6*8+6 {
 		t.Errorf("direction split (%d,%d), want (48,54)", resLive.SentCW, resLive.SentCCW)
+	}
+}
+
+// TestLiveTimeoutResult: the Result returned alongside ErrTimeout is a
+// usable snapshot of the stuck network, and the error wraps ErrTimeout
+// with the in-flight pulse count.
+func TestLiveTimeoutResult(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{&chatterbox{}, &chatterbox{}}
+	res, err := live.Run(topo, ms, live.WithTimeout(50*time.Millisecond))
+	if !errors.Is(err, live.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "unaccounted") {
+		t.Errorf("error %q should report unaccounted pulses", err)
+	}
+	if res.N != 2 {
+		t.Errorf("N = %d, want 2", res.N)
+	}
+	if res.Quiescent {
+		t.Error("a timed-out chatterbox network reported quiescence")
+	}
+	if res.AllTerminated {
+		t.Error("chatterboxes never terminate")
+	}
+	if res.Leader != -1 || len(res.Leaders) != 0 {
+		t.Errorf("leader = %d (%v), want none", res.Leader, res.Leaders)
+	}
+	if res.Sent == 0 || res.Delivered == 0 {
+		t.Errorf("sent=%d delivered=%d: chatter should have flowed before the deadline", res.Sent, res.Delivered)
+	}
+}
+
+// TestLiveChaosTimeout: the timeout path and the jitter path compose — a
+// never-quiescing network under chaos still trips the deadline cleanly.
+func TestLiveChaosTimeout(t *testing.T) {
+	topo, err := ring.Oriented(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{&chatterbox{}, &chatterbox{}, &chatterbox{}}
+	res, err := live.Run(topo, ms,
+		live.WithChaos(99), live.WithTimeout(50*time.Millisecond))
+	if !errors.Is(err, live.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if res.Quiescent {
+		t.Error("timed-out network reported quiescence")
+	}
+}
+
+// TestLivePollInterval: a custom quiescence poll period changes detection
+// latency only, never the outcome.
+func TestLivePollInterval(t *testing.T) {
+	ids := []uint64{3, 1, 4}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.Run(topo, ms, live.WithPollInterval(10*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLeader, _ := ring.MaxIndex(ids)
+	if res.Leader != wantLeader {
+		t.Errorf("leader %d, want %d", res.Leader, wantLeader)
+	}
+	if want := core.PredictedAlg2Pulses(len(ids), 4); res.Sent != want {
+		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+}
+
+// TestLiveChaosZeroSeed: WithChaos(0) must still inject jitter (the seed
+// is forced odd), not silently disable it.
+func TestLiveChaosZeroSeed(t *testing.T) {
+	ids := []uint64{2, 5}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.Run(topo, ms, live.WithChaos(0), live.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := core.PredictedAlg2Pulses(len(ids), 5); res.Sent != want {
+		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+}
+
+// TestLiveChaosNonOriented: jitter composed with adversarial port
+// assignments (Algorithm 3) still yields the unique max-ID leader and a
+// consistent orientation.
+func TestLiveChaosNonOriented(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for seed := int64(1); seed <= 4; seed++ {
+		n := 2 + rng.Intn(5)
+		ids := ring.PermutedIDs(n, rng)
+		topo, err := ring.RandomNonOriented(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg3Machines(n, ids, core.SchemeSuccessor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Run(topo, ms, live.WithChaos(seed), live.WithTimeout(30*time.Second))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		wantLeader, _ := ring.MaxIndex(ids)
+		if res.Leader != wantLeader {
+			t.Errorf("seed %d: leader %d, want %d", seed, res.Leader, wantLeader)
+		}
+		for k, st := range res.Statuses {
+			if !st.HasOrientation {
+				t.Errorf("seed %d: node %d unoriented after chaos run", seed, k)
+			}
+		}
 	}
 }
 
