@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -26,6 +26,23 @@ lint:
 	@if $(GO) run ./cmd/oblint internal/lint/testdata/src/fixt/det >/dev/null 2>&1; then \
 		echo "oblint failed to flag the violation fixtures"; exit 1; \
 	fi
+
+# lint-bench times a cold oblint run (fresh cache: full source
+# type-checking) against a warm one (content-hash cache replay) on a
+# prebuilt binary, and proves the two produce byte-identical findings.
+lint-bench:
+	@mkdir -p bin
+	$(GO) build -o bin/oblint ./cmd/oblint
+	@rm -rf .oblint-bench-cache
+	@t0=$$(date +%s%N); \
+	./bin/oblint -cache-dir .oblint-bench-cache -cache-stats -json ./... > .oblint-bench-cold.json; \
+	t1=$$(date +%s%N); \
+	./bin/oblint -cache-dir .oblint-bench-cache -cache-stats -json ./... > .oblint-bench-warm.json; \
+	t2=$$(date +%s%N); \
+	echo "cold (cache empty): $$(( (t1 - t0) / 1000000 )) ms"; \
+	echo "warm (cache full):  $$(( (t2 - t1) / 1000000 )) ms"
+	@cmp .oblint-bench-cold.json .oblint-bench-warm.json && echo "cold and warm findings are byte-identical"
+	@rm -rf .oblint-bench-cache .oblint-bench-cold.json .oblint-bench-warm.json
 
 build:
 	$(GO) build ./...

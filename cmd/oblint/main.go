@@ -1,18 +1,27 @@
 // Command oblint is the model-invariant static analyzer for this
 // repository. It mechanically enforces the discipline the paper's results
-// rest on — content-obliviousness, determinism, layering, and atomic
-// hygiene — across every package in the module. See internal/lint for the
-// checks and DESIGN.md ("Enforced model invariants") for the policy.
+// rest on — content-obliviousness (including payload-taint tracking),
+// determinism, layering, atomic hygiene, and non-blocking handlers —
+// across every package in the module. See internal/lint for the checks
+// and DESIGN.md ("Enforced model invariants") for the policy.
 //
 // Usage:
 //
-//	go run ./cmd/oblint ./...          # lint the whole module
-//	go run ./cmd/oblint -json ./...    # machine-readable findings for CI
-//	go run ./cmd/oblint -list          # list the enforced checks
+//	go run ./cmd/oblint ./...                    # lint the whole module
+//	go run ./cmd/oblint -json ./...              # machine-readable findings
+//	go run ./cmd/oblint -list-checks             # checks with their invariants
+//	go run ./cmd/oblint -check det-time,layer-dag ./...
+//	go run ./cmd/oblint -baseline findings.json ./...   # fail on NEW findings only
 //
-// Exit status: 0 when clean, 1 when findings exist, 2 on load errors.
-// Suppressed findings (//oblint:allow) never fail the run but are counted
-// on stderr and included in -json output so CI can diff them.
+// Whole-module runs go through a content-hash analysis cache (disable with
+// -cache=false, relocate with -cache-dir): a warm run replays per-package
+// verdicts without type-checking anything and finishes in well under a
+// second. Explicit package arguments always run uncached.
+//
+// Exit status: 0 when clean, 1 when findings exist (with -baseline: when
+// NEW findings exist), 2 on load errors. Suppressed findings
+// (//oblint:allow) never fail the run but are counted on stderr and
+// included in -json output so CI can diff them.
 package main
 
 import (
@@ -28,10 +37,15 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
-	list := flag.Bool("list", false, "list enforced checks and exit")
-	only := flag.String("check", "", "comma-separated subset of checks to run")
+	list := flag.Bool("list", false, "list enforced check names and exit")
+	listChecks := flag.Bool("list-checks", false, "list every check with its one-line invariant and exit")
+	only := flag.String("check", "", "comma-separated subset of checks to run (see -list-checks)")
 	dir := flag.String("C", ".", "directory inside the target module")
 	typeErrs := flag.Bool("typeerrors", false, "also print soft type-check errors")
+	baseline := flag.String("baseline", "", "JSON findings file to diff against; only NEW findings fail")
+	useCache := flag.Bool("cache", true, "use the content-hash analysis cache for whole-module runs")
+	cacheDir := flag.String("cache-dir", "", "cache directory (default: user cache dir)")
+	cacheStats := flag.Bool("cache-stats", false, "report cache hits/misses on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: oblint [flags] [packages]\n\nFlags:\n")
@@ -45,40 +59,16 @@ func main() {
 		}
 		return
 	}
+	if *listChecks {
+		for _, c := range lint.AllChecks() {
+			fmt.Printf("%-18s %s\n", c, lint.CheckDoc(c))
+		}
+		return
+	}
 
 	root, module, err := lint.FindModule(*dir)
 	if err != nil {
 		fatal(err)
-	}
-	loader := lint.NewLoader(root, module)
-
-	// Package arguments: "./..." (or none) means the whole module;
-	// anything else is a module-relative package list.
-	var pkgs []*lint.Package
-	args := flag.Args()
-	all := len(args) == 0
-	for _, a := range args {
-		if a == "./..." || a == "..." || a == module+"/..." {
-			all = true
-		}
-	}
-	if all {
-		pkgs, err = loader.LoadAll()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		for _, a := range args {
-			ip := strings.TrimPrefix(filepath.ToSlash(a), "./")
-			if ip != module && !strings.HasPrefix(ip, module+"/") {
-				ip = module + "/" + ip
-			}
-			p, err := loader.Load(ip)
-			if err != nil {
-				fatal(err)
-			}
-			pkgs = append(pkgs, p)
-		}
 	}
 
 	cfg := lint.DefaultConfig()
@@ -88,41 +78,147 @@ func main() {
 			known[c] = true
 		}
 		for _, c := range strings.Split(*only, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
 			if !known[c] {
-				fatal(fmt.Errorf("unknown check %q (see -list); a typo here would silently disable the gate", c))
+				fatal(fmt.Errorf("unknown check %q (see -list-checks); a typo here would silently disable the gate", c))
 			}
 			cfg.Checks = append(cfg.Checks, c)
 		}
+		if len(cfg.Checks) == 0 {
+			fatal(fmt.Errorf("-check %q names no checks", *only))
+		}
 	}
-	runner := &lint.Runner{Config: cfg, Fset: loader.Fset}
-	res := runner.Run(pkgs)
 
-	if *typeErrs {
+	// Package arguments: "./..." (or none) means the whole module;
+	// anything else is a module-relative package list.
+	args := flag.Args()
+	all := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == module+"/..." {
+			all = true
+		}
+	}
+
+	var res lint.Result
+	var softErrs []string
+	switch {
+	case all && *useCache:
+		dir := *cacheDir
+		if dir == "" {
+			dir = defaultCacheDir(module)
+		}
+		var stats lint.CacheStats
+		res, softErrs, stats, err = lint.RunCached(root, module, cfg, dir)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheStats {
+			fmt.Fprintf(os.Stderr, "oblint: cache %d hit(s), %d miss(es)\n", stats.Hits, stats.Misses)
+		}
+	default:
+		loader := lint.NewLoader(root, module)
+		var pkgs []*lint.Package
+		if all {
+			pkgs, err = loader.LoadAll()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			for _, a := range args {
+				ip := strings.TrimPrefix(filepath.ToSlash(a), "./")
+				if ip != module && !strings.HasPrefix(ip, module+"/") {
+					ip = module + "/" + ip
+				}
+				p, err := loader.Load(ip)
+				if err != nil {
+					fatal(err)
+				}
+				pkgs = append(pkgs, p)
+			}
+		}
+		runner := &lint.Runner{Config: cfg, Fset: loader.Fset}
+		res = runner.Run(pkgs)
 		for _, p := range pkgs {
 			for _, e := range p.TypeErrors {
-				fmt.Fprintf(os.Stderr, "typecheck %s: %v\n", p.Path, e)
+				softErrs = append(softErrs, fmt.Sprintf("typecheck %s: %v", p.Path, e))
 			}
 		}
 	}
 
+	if *typeErrs {
+		for _, line := range softErrs {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+
+	rel := relativize(res, root)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(relativize(res, root)); err != nil {
+		if err := enc.Encode(rel); err != nil {
 			fatal(err)
 		}
 	} else {
-		for _, f := range relativize(res, root).Findings {
+		for _, f := range rel.Findings {
 			fmt.Println(f)
 		}
 		if n := len(res.Suppressed); n > 0 {
 			fmt.Fprintf(os.Stderr, "oblint: %d finding(s) suppressed by //oblint:allow\n", n)
 		}
 	}
+
+	if *baseline != "" {
+		exitBaseline(rel, *baseline, *jsonOut)
+	}
 	if len(res.Findings) > 0 {
 		fmt.Fprintf(os.Stderr, "oblint: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
+}
+
+// exitBaseline diffs the (relativized) result against a committed baseline
+// and terminates the process: only findings absent from the baseline fail
+// the run, the shape CI lint gates use to block new debt while old debt is
+// burned down separately.
+func exitBaseline(cur lint.Result, path string, jsonOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("baseline: %w", err))
+	}
+	var base lint.Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", path, err))
+	}
+	news, resolved := lint.DiffBaseline(cur, base)
+	if len(resolved) > 0 {
+		fmt.Fprintf(os.Stderr, "oblint: %d baseline finding(s) resolved; regenerate %s with -json to ratchet down\n",
+			len(resolved), path)
+	}
+	if len(news) == 0 {
+		fmt.Fprintf(os.Stderr, "oblint: no findings beyond baseline (%d known)\n", len(base.Findings))
+		os.Exit(0)
+	}
+	if !jsonOut {
+		// Findings were already printed above; single out the new ones.
+		fmt.Fprintf(os.Stderr, "oblint: %d NEW finding(s) not in baseline:\n", len(news))
+	}
+	for _, f := range news {
+		fmt.Fprintf(os.Stderr, "  %s\n", f)
+	}
+	os.Exit(1)
+}
+
+// defaultCacheDir places the cache under the OS user cache, namespaced by
+// module so co-resident checkouts do not collide on policy.
+func defaultCacheDir(module string) string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "oblint", module)
 }
 
 // relativize rewrites absolute file paths relative to the module root for

@@ -7,9 +7,19 @@ package lint
 // every field passed by address to a sync/atomic function, then flags any
 // other plain selector access of the same field.
 //
-// Fields of the atomic.Int64-style wrapper types are immune by
-// construction (their state is unexported), which is why the runtime
-// prefers them; this check guards the pointer-style API.
+// Fields of the atomic.Int64-style wrapper types are immune to mixed
+// access by construction (their state is unexported), which is why the
+// runtime prefers them; atomic-mixed guards the pointer-style API.
+//
+// The wrapper types have a dual hazard the pointer API does not: copying
+// one by value silently forks its state, so the copy's Load observes a
+// frozen snapshot while writers keep updating the original. go vet's
+// copylocks pass does not flag them (they carry no Lock method), so the
+// atomic-copy check closes that gap: in the atomic packages, any
+// by-value copy of an atomic wrapper — or of a struct embedding one —
+// through an assignment, call argument, return value, or composite
+// literal element is a finding. Taking the address, calling methods, and
+// constructing fresh zero values remain fine.
 
 import (
 	"fmt"
@@ -71,6 +81,103 @@ func checkAtomicMixed(r *Runner, p *Package, report func(token.Pos, string, stri
 			return true
 		})
 	}
+}
+
+func checkAtomicCopy(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.AtomicPkgs) {
+		return
+	}
+	flag := func(e ast.Expr) {
+		e = unparen(e)
+		switch e.(type) {
+		case *ast.CompositeLit, *ast.FuncLit:
+			return // a freshly constructed value has no shared state yet
+		}
+		tv, ok := p.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if name := atomicCopied(tv.Type); name != "" {
+			report(e.Pos(), CheckAtomicCopy,
+				fmt.Sprintf("by-value copy of %s; atomic values must be reached through a stable address (the copy's state silently forks, and go vet copylocks does not flag wrapper types)", name))
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					return true // tuple from a call; the return site is flagged
+				}
+				for _, rhs := range n.Rhs {
+					flag(rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					flag(v)
+				}
+			case *ast.CallExpr:
+				if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					flag(arg)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					flag(res)
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						flag(kv.Value)
+					} else {
+						flag(elt)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicWrappers are the value types of sync/atomic whose copy semantics
+// are a silent state fork.
+var atomicWrappers = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// atomicCopied reports the offending type name if copying a value of t by
+// value forks atomic state: t is an atomic wrapper, or a struct (possibly
+// nested, possibly via arrays) holding one.
+func atomicCopied(t types.Type) string {
+	seen := make(map[types.Type]bool)
+	var rec func(t types.Type) string
+	rec = func(t types.Type) string {
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicWrappers[obj.Name()] {
+				return "sync/atomic." + obj.Name()
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if name := rec(u.Field(i).Type()); name != "" {
+					return name
+				}
+			}
+		case *types.Array:
+			return rec(u.Elem())
+		}
+		return ""
+	}
+	return rec(t)
 }
 
 // isAtomicFunc reports whether fun resolves to a package-level function of

@@ -1,0 +1,279 @@
+package lint
+
+// Analysis cache. A cold oblint run type-checks the module and the stdlib
+// packages it imports from source (3-4 s); nothing in that cost changes
+// between runs unless source changes. Because every check is per-package
+// (Runner.RunPackage) and depends only on the package's own syntax plus
+// the types of its module-internal imports, a package's verdict can be
+// keyed by content hashes and replayed without loading anything:
+//
+//	key(P) = H(format version ‖ Go version ‖ policy JSON ‖ analyzer
+//	          sources ‖ for every package in P's transitive
+//	          module-internal closure: path ‖ file names ‖ file hashes)
+//
+// The Go version stands in for the stdlib's export data, the policy JSON
+// invalidates on any Config edit, and the analyzer-source term (the
+// internal/lint and cmd/oblint file hashes, which the module scan already
+// computed) invalidates every entry when the checks themselves change —
+// the classic staleness bug of finding caches. Computing the keys needs
+// only an imports-only parse of each file, so a fully warm run does no
+// type-checking at all and finishes in tens of milliseconds.
+//
+// Entries store module-root-relative paths and are rehydrated to absolute
+// on read, so cached and fresh findings are byte-identical downstream.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheFormatVersion salts every key; bump it when the entry schema or key
+// derivation changes.
+const cacheFormatVersion = "oblint-cache-v1"
+
+// CacheStats reports how a cached run split between replay and analysis.
+type CacheStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// cacheEntry is one package's stored verdict. File paths are relative to
+// the module root.
+type cacheEntry struct {
+	Findings   []Finding `json:"findings"`
+	Suppressed []Finding `json:"suppressed,omitempty"`
+	TypeErrors []string  `json:"type_errors,omitempty"`
+}
+
+// scanPkg is one module package as seen by the cheap (imports-only) scan.
+type scanPkg struct {
+	path     string
+	dir      string
+	fileHash string   // combined name+content hash of the package's files
+	imports  []string // module-internal imports only
+}
+
+// scanModule hashes every module package and records its module-internal
+// import edges, using imports-only parses (no type-checking).
+func scanModule(root, module string) (map[string]*scanPkg, []string, error) {
+	dirs, err := modulePackageDirs(root, module)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs := make(map[string]*scanPkg, len(dirs))
+	order := make([]string, 0, len(dirs))
+	fset := token.NewFileSet()
+	for _, d := range dirs {
+		sp := &scanPkg{path: d.Path, dir: d.Dir}
+		ents, err := os.ReadDir(d.Dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := sha256.New()
+		seen := make(map[string]bool)
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			full := filepath.Join(d.Dir, name)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, nil, err
+			}
+			fmt.Fprintf(h, "%s\x00%x\x00", name, sha256.Sum256(data))
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				// Unparseable files make the package uncacheable but must
+				// not kill the scan; the loader will surface the error.
+				continue
+			}
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if (ip == module || strings.HasPrefix(ip, module+"/")) && !seen[ip] {
+					seen[ip] = true
+					sp.imports = append(sp.imports, ip)
+				}
+			}
+		}
+		sort.Strings(sp.imports)
+		sp.fileHash = hex.EncodeToString(h.Sum(nil))
+		pkgs[sp.path] = sp
+		order = append(order, sp.path)
+	}
+	return pkgs, order, nil
+}
+
+// closure returns the sorted transitive module-internal closure of path
+// (including path itself) over the scan graph.
+func closure(pkgs map[string]*scanPkg, path string) []string {
+	seen := make(map[string]bool)
+	var visit func(ip string)
+	visit = func(ip string) {
+		if seen[ip] || pkgs[ip] == nil {
+			return
+		}
+		seen[ip] = true
+		for _, dep := range pkgs[ip].imports {
+			visit(dep)
+		}
+	}
+	visit(path)
+	out := make([]string, 0, len(seen))
+	for ip := range seen {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cacheSalt derives the run-wide key prefix: analyzer identity plus
+// policy. The analyzer-source term uses the scan's own hashes for
+// internal/lint and cmd/oblint, so editing a check invalidates everything.
+func cacheSalt(pkgs map[string]*scanPkg, module string, cfg Config) (string, error) {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00", cacheFormatVersion, runtime.Version(), cfgJSON)
+	for _, self := range []string{module + "/internal/lint", module + "/cmd/oblint"} {
+		if sp := pkgs[self]; sp != nil {
+			fmt.Fprintf(h, "%s\x00%s\x00", self, sp.fileHash)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// pkgKey is the cache key for one package: salt plus the file hashes of
+// its transitive module-internal closure.
+func pkgKey(pkgs map[string]*scanPkg, salt, path string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", salt)
+	for _, ip := range closure(pkgs, path) {
+		fmt.Fprintf(h, "%s\x00%s\x00", ip, pkgs[ip].fileHash)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunCached lints every package of the module rooted at root under cfg,
+// replaying cached per-package verdicts for packages whose transitive
+// sources are unchanged and analyzing only the rest. It returns the merged
+// result (file paths absolute, exactly as an uncached Runner.Run over
+// LoadAll would), the formatted soft type errors, and hit/miss stats.
+// cacheDir is created on demand; a corrupt or unreadable entry counts as a
+// miss, never an error.
+func RunCached(root, module string, cfg Config, cacheDir string) (Result, []string, CacheStats, error) {
+	var stats CacheStats
+	pkgs, order, err := scanModule(root, module)
+	if err != nil {
+		return Result{}, nil, stats, err
+	}
+	salt, err := cacheSalt(pkgs, module, cfg)
+	if err != nil {
+		return Result{}, nil, stats, err
+	}
+
+	var res Result
+	var typeErrs []string
+	var loader *Loader
+	var runner *Runner
+	for _, ip := range order {
+		key := pkgKey(pkgs, salt, ip)
+		path := filepath.Join(cacheDir, key+".json")
+		if ent, ok := readEntry(path); ok {
+			stats.Hits++
+			res.Findings = append(res.Findings, absolutize(ent.Findings, root)...)
+			res.Suppressed = append(res.Suppressed, absolutize(ent.Suppressed, root)...)
+			typeErrs = append(typeErrs, ent.TypeErrors...)
+			continue
+		}
+		stats.Misses++
+		if loader == nil {
+			loader = NewLoader(root, module)
+			runner = &Runner{Config: cfg, Fset: loader.Fset}
+		}
+		p, err := loader.Load(ip)
+		if err != nil {
+			return Result{}, nil, stats, fmt.Errorf("load %s: %w", ip, err)
+		}
+		pr := runner.RunPackage(p)
+		ent := cacheEntry{
+			Findings:   relativizeFindings(pr.Findings, root),
+			Suppressed: relativizeFindings(pr.Suppressed, root),
+		}
+		for _, e := range p.TypeErrors {
+			ent.TypeErrors = append(ent.TypeErrors, fmt.Sprintf("typecheck %s: %v", ip, e))
+		}
+		writeEntry(path, ent)
+		res.Findings = append(res.Findings, pr.Findings...)
+		res.Suppressed = append(res.Suppressed, pr.Suppressed...)
+		typeErrs = append(typeErrs, ent.TypeErrors...)
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res, typeErrs, stats, nil
+}
+
+func readEntry(path string) (cacheEntry, bool) {
+	var ent cacheEntry
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ent, false
+	}
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return ent, false
+	}
+	return ent, true
+}
+
+// writeEntry stores an entry atomically (write-then-rename) so a killed
+// run can never leave a truncated entry behind. Failures are deliberately
+// ignored: the cache is an accelerator, not a correctness dependency.
+func writeEntry(path string, ent cacheEntry) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(ent, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// relativizeFindings rewrites finding paths relative to root (slashed) for
+// storage; absolutize is its inverse on read.
+func relativizeFindings(fs []Finding, root string) []Finding {
+	out := make([]Finding, len(fs))
+	for i, f := range fs {
+		if rel, err := filepath.Rel(root, f.File); err == nil {
+			f.File = filepath.ToSlash(rel)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func absolutize(fs []Finding, root string) []Finding {
+	out := make([]Finding, len(fs))
+	for i, f := range fs {
+		if !filepath.IsAbs(f.File) {
+			f.File = filepath.Join(root, filepath.FromSlash(f.File))
+		}
+		out[i] = f
+	}
+	return out
+}

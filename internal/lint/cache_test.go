@@ -1,0 +1,175 @@
+package lint
+
+// Cache correctness: a warm run must replay byte-identical findings with
+// zero loads, and any relevant change — a source file, the policy, the
+// analyzer itself — must invalidate exactly the affected keys. These tests
+// run in-package (not lint_test) to reach the key-derivation internals.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func moduleRootT(t *testing.T) (string, string) {
+	t.Helper()
+	root, module, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, module
+}
+
+// TestRunCachedWarmIdentical is the headline guarantee: cold populate,
+// warm replay, identical results, all packages hit.
+func TestRunCachedWarmIdentical(t *testing.T) {
+	root, module := moduleRootT(t)
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+
+	cold, coldErrs, coldStats, err := RunCached(root, module, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Hits != 0 || coldStats.Misses == 0 {
+		t.Fatalf("cold stats = %+v, want all misses", coldStats)
+	}
+	warm, warmErrs, warmStats, err := RunCached(root, module, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Misses != 0 || warmStats.Hits != coldStats.Misses {
+		t.Fatalf("warm stats = %+v, want %d hits and no misses", warmStats, coldStats.Misses)
+	}
+	coldJSON, _ := json.Marshal(cold)
+	warmJSON, _ := json.Marshal(warm)
+	if string(coldJSON) != string(warmJSON) {
+		t.Errorf("warm result differs from cold:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+	if !reflect.DeepEqual(coldErrs, warmErrs) {
+		t.Errorf("warm type errors differ: cold=%v warm=%v", coldErrs, warmErrs)
+	}
+
+	// And the cached run must agree with the uncached reference path.
+	l := NewLoader(root, module)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := (&Runner{Config: cfg, Fset: l.Fset}).Run(pkgs)
+	refJSON, _ := json.Marshal(ref)
+	if string(refJSON) != string(coldJSON) {
+		t.Errorf("cached result differs from uncached reference:\nref:    %s\ncached: %s", refJSON, coldJSON)
+	}
+}
+
+// TestCacheKeyInvalidation: editing a package flips its own key and every
+// dependent's key, and leaves unrelated packages' keys alone.
+func TestCacheKeyInvalidation(t *testing.T) {
+	root, module := moduleRootT(t)
+	cfg := DefaultConfig()
+	pkgs, _, err := scanModule(root, module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	salt, err := cacheSalt(pkgs, module, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulse := module + "/internal/pulse"
+	core := module + "/internal/core"
+	stats := module + "/internal/stats"
+	before := map[string]string{
+		pulse: pkgKey(pkgs, salt, pulse),
+		core:  pkgKey(pkgs, salt, core),
+		stats: pkgKey(pkgs, salt, stats),
+	}
+
+	// Simulate an edit to internal/pulse by perturbing its file hash.
+	pkgs[pulse].fileHash += "x"
+	if got := pkgKey(pkgs, salt, pulse); got == before[pulse] {
+		t.Error("editing a package did not change its own key")
+	}
+	if got := pkgKey(pkgs, salt, core); got == before[core] {
+		t.Error("editing internal/pulse did not invalidate internal/core (a dependent)")
+	}
+	if got := pkgKey(pkgs, salt, stats); got != before[stats] {
+		t.Error("editing internal/pulse invalidated internal/stats (not a dependent)")
+	}
+}
+
+// TestCacheSaltCoversPolicyAndAnalyzer: a Config edit or an analyzer
+// source edit must flip the salt — the staleness bug the CI double-run
+// guards against.
+func TestCacheSaltCoversPolicyAndAnalyzer(t *testing.T) {
+	root, module := moduleRootT(t)
+	cfg := DefaultConfig()
+	pkgs, _, err := scanModule(root, module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := cacheSalt(pkgs, module, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	widened := cfg
+	widened.TimeExempt = append([]string{module + "/cmd"}, cfg.TimeExempt...)
+	if s, _ := cacheSalt(pkgs, module, widened); s == base {
+		t.Error("widening the policy did not change the cache salt")
+	}
+
+	pkgs[module+"/internal/lint"].fileHash += "x"
+	if s, _ := cacheSalt(pkgs, module, cfg); s == base {
+		t.Error("editing the analyzer's own sources did not change the cache salt")
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a truncated entry must be re-analyzed, not
+// trusted and not fatal.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	root, module := moduleRootT(t)
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	if _, _, _, err := RunCached(root, module, cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("expected cache entries, got %d (err=%v)", len(ents), err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ents[0].Name()), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, stats, err := RunCached(root, module, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses != 1 {
+		t.Errorf("corrupt entry: misses = %d, want exactly 1", stats.Misses)
+	}
+}
+
+// TestScanMatchesLoadAll: the cheap scan and the full loader must agree on
+// the package set, or the cache could silently skip a package.
+func TestScanMatchesLoadAll(t *testing.T) {
+	root, module := moduleRootT(t)
+	_, order, err := scanModule(root, module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, module)
+	loaded, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadedPaths []string
+	for _, p := range loaded {
+		loadedPaths = append(loadedPaths, p.Path)
+	}
+	if !reflect.DeepEqual(order, loadedPaths) {
+		t.Errorf("scan sees %v\nloader sees %v", order, loadedPaths)
+	}
+}

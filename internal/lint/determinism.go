@@ -6,8 +6,12 @@ package lint
 // single seed. Three leaks are closed mechanically:
 //
 //   - det-time: wall-clock calls (time.Now, time.Sleep, ...) outside the
-//     live runtime and cmd/. Timing-dependence is exactly what the model
-//     forbids (Section 2: unbounded but finite delays, no clocks).
+//     live runtime and individually exempted reporting files. Timing-
+//     dependence is exactly what the model forbids (Section 2: unbounded
+//     but finite delays, no clocks). The exemption is file-granular on
+//     purpose: a cmd/ binary's flag-parsing/reporting file may time its
+//     own output, but simulation-critical logic living next to it in the
+//     same command is still checked.
 //   - det-globalrand: the global math/rand functions draw from a shared,
 //     effectively unseeded source; randomized machines must thread an
 //     injected *rand.Rand or internal/xrand generator so a run is
@@ -21,6 +25,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
 // forbiddenTimeFuncs are the wall-clock entry points of package time.
@@ -42,11 +48,27 @@ func checkDetTime(r *Runner, p *Package, report func(token.Pos, string, string))
 		return
 	}
 	forEachPkgFuncUse(p, "time", func(id *ast.Ident, fn *types.Func) {
-		if forbiddenTimeFuncs[fn.Name()] {
-			report(id.Pos(), CheckDetTime,
-				fmt.Sprintf("wall-clock call time.%s outside the live runtime (model has no clocks; inject timing only in internal/live or cmd/)", fn.Name()))
+		if !forbiddenTimeFuncs[fn.Name()] {
+			return
 		}
+		if fileExempt(r.Fset.Position(id.Pos()).Filename, r.Config.TimeExemptFiles) {
+			return
+		}
+		report(id.Pos(), CheckDetTime,
+			fmt.Sprintf("wall-clock call time.%s outside the live runtime (model has no clocks; inject timing only in internal/live or an exempted reporting file)", fn.Name()))
 	})
+}
+
+// fileExempt reports whether the absolute filename matches one of the
+// module-relative exempt paths (suffix match on whole path segments).
+func fileExempt(filename string, exempt []string) bool {
+	slash := filepath.ToSlash(filename)
+	for _, e := range exempt {
+		if slash == e || strings.HasSuffix(slash, "/"+e) {
+			return true
+		}
+	}
+	return false
 }
 
 func checkDetGlobalRand(r *Runner, p *Package, report func(token.Pos, string, string)) {

@@ -1,0 +1,238 @@
+package lint
+
+// handler-block: the runtimes are event-driven — internal/sim invokes a
+// machine's Init/OnMsg inline on the simulation loop, and internal/live
+// invokes them on the node's own goroutine, which is also the goroutine
+// that consumes the node's conduits. A handler that blocks (a channel
+// operation, a mutex acquisition, a WaitGroup wait) therefore stalls the
+// very loop that would unblock it: in sim it freezes the whole run, in
+// live it deadlocks the node. The model's asynchrony lives in the network,
+// never in the handler.
+//
+// The check builds the intra-package static call graph and flags every
+// blocking operation reachable from a handler method (Init or OnMsg) of a
+// configured handler package:
+//
+//   - channel send and receive (any channel: even a buffered operation
+//     blocks when the buffer is full or empty, so handlers get none);
+//   - range over a channel and select without a default clause;
+//   - sync.Mutex.Lock, sync.RWMutex.Lock/RLock, sync.WaitGroup.Wait,
+//     sync.Cond.Wait.
+//
+// Operations inside a `go` statement's function literal are exempt — the
+// spawned goroutine may block, the handler does not — but the statement's
+// argument expressions are still evaluated synchronously and stay checked.
+// Calls through interfaces are not resolved (no instantiation analysis),
+// which is the usual soundness trade of a static call graph.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// blockingOp is one blocking operation site found in a function body.
+type blockingOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// fnFacts records, per declared function/method, its direct blocking
+// operations and its direct in-package callees.
+type fnFacts struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	ops     []blockingOp
+	callees []*types.Func
+}
+
+func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.HandlerPkgs) {
+		return
+	}
+
+	facts := make(map[*types.Func]*fnFacts)
+	var roots []*types.Func
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &fnFacts{decl: fd, obj: obj}
+			collectBlocking(p, fd.Body, ff)
+			facts[obj] = ff
+			if fd.Recv != nil && (fd.Name.Name == "Init" || fd.Name.Name == "OnMsg") {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	// Reachability from each handler root over the static call graph; an
+	// op is reported once, attributed to the first (alphabetical) handler
+	// that reaches it so output stays deterministic.
+	reported := make(map[token.Pos]bool)
+	for _, root := range roots {
+		seen := make(map[*types.Func]bool)
+		var visit func(fn *types.Func)
+		visit = func(fn *types.Func) {
+			if seen[fn] {
+				return
+			}
+			seen[fn] = true
+			ff := facts[fn]
+			if ff == nil {
+				return
+			}
+			for _, op := range ff.ops {
+				if reported[op.pos] {
+					continue
+				}
+				reported[op.pos] = true
+				report(op.pos, CheckHandlerBlock,
+					fmt.Sprintf("blocking %s reachable from event handler %s (handlers run inline on the runtime's event loop and must never block)",
+						op.desc, root.FullName()))
+			}
+			for _, c := range ff.callees {
+				visit(c)
+			}
+		}
+		visit(root)
+	}
+}
+
+// collectBlocking walks a function body recording direct blocking
+// operations and direct in-package callees. Function literals are treated
+// as part of the enclosing body (they may run synchronously) except when
+// they are the function of a `go` statement.
+func collectBlocking(p *Package, body ast.Node, ff *fnFacts) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned callee may block freely; its argument
+			// expressions are evaluated on the handler's goroutine.
+			for _, arg := range n.Call.Args {
+				walk(arg)
+			}
+			if _, isLit := unparen(n.Call.Fun).(*ast.FuncLit); !isLit {
+				walk(n.Call.Fun)
+			}
+			return
+		case *ast.SendStmt:
+			ff.ops = append(ff.ops, blockingOp{n.Arrow, "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ff.ops = append(ff.ops, blockingOp{n.OpPos, "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ff.ops = append(ff.ops, blockingOp{n.For, "range over channel"})
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				ff.ops = append(ff.ops, blockingOp{n.Select, "select without default"})
+			}
+			// Still walk the bodies for nested ops; the comm clauses'
+			// channel operations themselves are subsumed by the select.
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						walk(s)
+					}
+				}
+			}
+			return
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, n.Fun); fn != nil {
+				if desc := blockingSyncCall(fn); desc != "" {
+					ff.ops = append(ff.ops, blockingOp{n.Pos(), desc})
+				} else if fn.Pkg() == p.Types {
+					ff.callees = append(ff.callees, fn)
+				}
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c)
+			return false
+		})
+	}
+	walk(body)
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's function expression to the concrete
+// function or method object, or nil (interface methods, func values).
+func calleeFunc(p *Package, fun ast.Expr) *types.Func {
+	switch fun := unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				// Methods of interface types cannot be resolved to a body.
+				if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// blockingSyncCall names the blocking sync primitive a method call is, or
+// "" if the callee is not one.
+func blockingSyncCall(fn *types.Func) string {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch named.Obj().Name() + "." + fn.Name() {
+	case "Mutex.Lock", "RWMutex.Lock", "RWMutex.RLock",
+		"WaitGroup.Wait", "Cond.Wait":
+		return "sync." + named.Obj().Name() + "." + fn.Name()
+	}
+	return ""
+}

@@ -15,21 +15,45 @@ const (
 	CheckObliviousImport  = "oblivious-import"
 	CheckObliviousChan    = "oblivious-chan"
 	CheckObliviousPayload = "oblivious-payload"
+	CheckObliviousTaint   = "oblivious-taint"
 	CheckDetTime          = "det-time"
 	CheckDetGlobalRand    = "det-globalrand"
 	CheckDetMapRange      = "det-maprange"
 	CheckLayerDAG         = "layer-dag"
 	CheckAtomicMixed      = "atomic-mixed"
+	CheckAtomicCopy       = "atomic-copy"
+	CheckHandlerBlock     = "handler-block"
 )
 
 // AllChecks lists every check name, in report order.
 func AllChecks() []string {
 	return []string{
 		CheckObliviousImport, CheckObliviousChan, CheckObliviousPayload,
+		CheckObliviousTaint,
 		CheckDetTime, CheckDetGlobalRand, CheckDetMapRange,
-		CheckLayerDAG, CheckAtomicMixed,
+		CheckLayerDAG, CheckAtomicMixed, CheckAtomicCopy,
+		CheckHandlerBlock,
 	}
 }
+
+// checkDocs states, per check, the one-line model invariant it enforces.
+// cmd/oblint -list-checks prints these so CI logs are self-describing.
+var checkDocs = map[string]string{
+	CheckObliviousImport:  "oblivious packages may not import content-carrying packages (encoding/*, internal/baseline)",
+	CheckObliviousChan:    "channels declared in oblivious packages must carry pulse.Pulse only",
+	CheckObliviousPayload: "an OnMsg handler may forward its pulse payload verbatim but never inspect it",
+	CheckObliviousTaint:   "no branch may depend on a value derived from a pulse payload (taint through assignments, fields, returns, closures)",
+	CheckDetTime:          "no wall-clock calls outside internal/live and exempted reporting files (the model has no clocks)",
+	CheckDetGlobalRand:    "no global math/rand draws; randomness must be an injected, seeded generator",
+	CheckDetMapRange:      "no map iteration in replay-deterministic packages (randomized order leaks nondeterminism)",
+	CheckLayerDAG:         "module-internal imports must follow the registered layer DAG; new packages must register",
+	CheckAtomicMixed:      "a field accessed via sync/atomic anywhere must be accessed that way everywhere",
+	CheckAtomicCopy:       "atomic.Int64-style values must never be copied by value (a copy races with concurrent updates)",
+	CheckHandlerBlock:     "event handlers run by internal/sim and internal/live must not reach blocking operations",
+}
+
+// CheckDoc returns the one-line invariant a check enforces ("" if unknown).
+func CheckDoc(name string) string { return checkDocs[name] }
 
 // Config is the policy a Runner enforces. The zero value enforces nothing;
 // DefaultConfig returns this repository's policy.
@@ -55,6 +79,18 @@ type Config struct {
 	// (time.Now, time.Sleep, ...) are permitted. Everywhere else they are
 	// nondeterminism leaks.
 	TimeExempt []string
+
+	// TimeExemptFiles are module-relative file paths (slash-separated)
+	// individually exempt from det-time: flag-parsing and reporting files
+	// in cmd/ that legitimately time their own output. This is deliberately
+	// file-granular so simulation-critical logic added next to them is
+	// still checked.
+	TimeExemptFiles []string
+
+	// HandlerPkgs are packages whose Init/OnMsg handler methods run on the
+	// event loops of internal/sim and internal/live; blocking operations
+	// reachable inside them would deadlock the runtime.
+	HandlerPkgs []string
 
 	// MapRangePkgs are packages whose replays must be deterministic, so
 	// ranging over a map (randomized iteration order) is flagged.
@@ -121,46 +157,66 @@ func (r *Runner) enabled(name string) bool {
 	return false
 }
 
+// allCheckFns pairs every check name with its implementation, in report
+// order. Every check is per-package: the whole-module result is the
+// concatenation of per-package results, which is what makes the analysis
+// cache (cache.go) sound.
+var allCheckFns = []struct {
+	name string
+	fn   checkFn
+}{
+	{CheckObliviousImport, checkObliviousImport},
+	{CheckObliviousChan, checkObliviousChan},
+	{CheckObliviousPayload, checkObliviousPayload},
+	{CheckObliviousTaint, checkObliviousTaint},
+	{CheckDetTime, checkDetTime},
+	{CheckDetGlobalRand, checkDetGlobalRand},
+	{CheckDetMapRange, checkDetMapRange},
+	{CheckLayerDAG, checkLayerDAG},
+	{CheckAtomicMixed, checkAtomicMixed},
+	{CheckAtomicCopy, checkAtomicCopy},
+	{CheckHandlerBlock, checkHandlerBlock},
+}
+
 // Run applies every enabled check to every package and splits the findings
 // by suppression state. Findings are sorted by position.
 func (r *Runner) Run(pkgs []*Package) Result {
-	checks := []struct {
-		name string
-		fn   checkFn
-	}{
-		{CheckObliviousImport, checkObliviousImport},
-		{CheckObliviousChan, checkObliviousChan},
-		{CheckObliviousPayload, checkObliviousPayload},
-		{CheckDetTime, checkDetTime},
-		{CheckDetGlobalRand, checkDetGlobalRand},
-		{CheckDetMapRange, checkDetMapRange},
-		{CheckLayerDAG, checkLayerDAG},
-		{CheckAtomicMixed, checkAtomicMixed},
-	}
 	var res Result
 	for _, p := range pkgs {
-		allow := collectDirectives(p, r.Fset)
-		report := func(pos token.Pos, check, msg string) {
-			position := r.Fset.Position(pos)
-			f := Finding{
-				Check: check,
-				Pkg:   p.Path,
-				File:  position.Filename,
-				Line:  position.Line,
-				Col:   position.Column,
-				Msg:   msg,
-			}
-			if allow.allows(position.Filename, position.Line, check) {
-				f.Suppressed = true
-				res.Suppressed = append(res.Suppressed, f)
-				return
-			}
-			res.Findings = append(res.Findings, f)
+		pr := r.RunPackage(p)
+		res.Findings = append(res.Findings, pr.Findings...)
+		res.Suppressed = append(res.Suppressed, pr.Suppressed...)
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res
+}
+
+// RunPackage applies every enabled check to a single package. Findings are
+// sorted by position.
+func (r *Runner) RunPackage(p *Package) Result {
+	var res Result
+	allow := collectDirectives(p, r.Fset)
+	report := func(pos token.Pos, check, msg string) {
+		position := r.Fset.Position(pos)
+		f := Finding{
+			Check: check,
+			Pkg:   p.Path,
+			File:  position.Filename,
+			Line:  position.Line,
+			Col:   position.Column,
+			Msg:   msg,
 		}
-		for _, c := range checks {
-			if r.enabled(c.name) {
-				c.fn(r, p, report)
-			}
+		if allow.allows(position.Filename, position.Line, check) {
+			f.Suppressed = true
+			res.Suppressed = append(res.Suppressed, f)
+			return
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	for _, c := range allCheckFns {
+		if r.enabled(c.name) {
+			c.fn(r, p, report)
 		}
 	}
 	sortFindings(res.Findings)
@@ -243,6 +299,46 @@ func walkParents(root ast.Node, visit func(n ast.Node, parents []ast.Node)) {
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// baselineKey identifies a finding for baseline diffing. Line and column
+// are deliberately excluded so that unrelated edits shifting a known
+// finding down a file do not register as a new finding in CI.
+func baselineKey(f Finding) string {
+	return f.Check + "\x00" + f.Pkg + "\x00" + f.File + "\x00" + f.Msg
+}
+
+// DiffBaseline compares current findings against a committed baseline and
+// returns the findings that are new (not in the baseline) and the baseline
+// entries that are resolved (no longer present). Matching is a multiset
+// match on (check, pkg, file, msg): a gate built on this fails only on new
+// findings, the shape production lint gates use to ratchet down debt.
+func DiffBaseline(cur, base Result) (news, resolved []Finding) {
+	credit := make(map[string]int)
+	for _, f := range base.Findings {
+		credit[baselineKey(f)]++
+	}
+	for _, f := range cur.Findings {
+		k := baselineKey(f)
+		if credit[k] > 0 {
+			credit[k]--
+			continue
+		}
+		news = append(news, f)
+	}
+	// Whatever credit is left over corresponds to baseline entries with no
+	// current counterpart.
+	used := make(map[string]int)
+	for _, f := range base.Findings {
+		k := baselineKey(f)
+		if used[k] < credit[k] {
+			used[k]++
+			resolved = append(resolved, f)
+		}
+	}
+	sortFindings(news)
+	sortFindings(resolved)
+	return news, resolved
 }
 
 // quote renders a path list for messages.

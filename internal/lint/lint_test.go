@@ -124,7 +124,12 @@ func TestAllChecksDistinct(t *testing.T) {
 		}
 		seen[c] = true
 	}
-	if len(seen) != 8 {
-		t.Errorf("expected 8 checks, got %d", len(seen))
+	if len(seen) != 11 {
+		t.Errorf("expected 11 checks, got %d", len(seen))
+	}
+	for _, c := range lint.AllChecks() {
+		if lint.CheckDoc(c) == "" {
+			t.Errorf("check %q has no one-line invariant doc (CheckDoc)", c)
+		}
 	}
 }

@@ -65,21 +65,23 @@ type Loader struct {
 	// load fixture trees (e.g. "fixt" -> ".../testdata/src/fixt").
 	ExtraRoots map[string]string
 
-	std  types.ImporterFrom
-	pkgs map[string]*Package
-	deps map[string]*types.Package
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	deps    map[string]*types.Package
+	loading map[string]bool
 }
 
 // NewLoader returns a loader for the module rooted at root.
 func NewLoader(root, module string) *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:   fset,
-		Module: module,
-		Root:   root,
-		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:   make(map[string]*Package),
-		deps:   make(map[string]*types.Package),
+		Fset:    fset,
+		Module:  module,
+		Root:    root,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		deps:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
 	}
 }
 
@@ -163,6 +165,13 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
+	// Memoization happens only after type-checking completes, so a cyclic
+	// import would otherwise recurse forever through ImportFrom.
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	dir := l.dirFor(path)
 	if dir == "" {
 		return nil, fmt.Errorf("lint: %s is not inside module %s", path, l.Module)
@@ -209,12 +218,20 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return p, nil
 }
 
-// LoadAll walks the module tree and loads every package, skipping
-// testdata, vendor, and dot-directories. Packages are returned sorted by
-// import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
-	var paths []string
-	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+// pkgDir is one module package directory discovered by modulePackageDirs.
+type pkgDir struct {
+	Path string // import path
+	Dir  string
+}
+
+// modulePackageDirs walks the module tree rooted at root and returns every
+// directory holding non-test Go files, skipping testdata, vendor, and
+// dot/underscore directories. Results are sorted by import path. It is the
+// single source of truth for "the module's packages", shared by LoadAll
+// and the analysis cache so their views can never diverge.
+func modulePackageDirs(root, module string) ([]pkgDir, error) {
+	var dirs []pkgDir
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -222,7 +239,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return nil
 		}
 		name := d.Name()
-		if p != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
@@ -233,15 +250,15 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		for _, e := range ents {
 			n := e.Name()
 			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-				rel, err := filepath.Rel(l.Root, p)
+				rel, err := filepath.Rel(root, p)
 				if err != nil {
 					return err
 				}
-				ip := l.Module
+				ip := module
 				if rel != "." {
-					ip = l.Module + "/" + filepath.ToSlash(rel)
+					ip = module + "/" + filepath.ToSlash(rel)
 				}
-				paths = append(paths, ip)
+				dirs = append(dirs, pkgDir{Path: ip, Dir: p})
 				break
 			}
 		}
@@ -250,12 +267,23 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(paths)
-	pkgs := make([]*Package, 0, len(paths))
-	for _, ip := range paths {
-		p, err := l.Load(ip)
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].Path < dirs[j].Path })
+	return dirs, nil
+}
+
+// LoadAll walks the module tree and loads every package, skipping
+// testdata, vendor, and dot-directories. Packages are returned sorted by
+// import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := modulePackageDirs(l.Root, l.Module)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		p, err := l.Load(d.Path)
 		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", ip, err)
+			return nil, fmt.Errorf("load %s: %w", d.Path, err)
 		}
 		pkgs = append(pkgs, p)
 	}

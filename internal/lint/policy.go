@@ -20,8 +20,15 @@ func DefaultConfig() Config {
 			"encoding",    // serialization smuggles content
 		},
 
-		// Wall-clock time exists only where real concurrency does.
-		TimeExempt: []string{m + "/cmd", i("live")},
+		// Wall-clock time exists only where real concurrency does. cmd/ is
+		// no longer exempt wholesale: simulation-critical logic in
+		// cmd/modelcheck and cmd/experiments is checked like any other
+		// package, and only the named flag-parsing/reporting files may
+		// time their own output.
+		TimeExempt: []string{i("live")},
+		TimeExemptFiles: []string{
+			"cmd/experiments/main.go", // times table generation for display
+		},
 
 		// Replay determinism: the simulator and the core algorithms.
 		MapRangePkgs: []string{i("sim"), i("core")},
@@ -75,5 +82,14 @@ func DefaultConfig() Config {
 		// The live runtime is the only package with real shared-memory
 		// concurrency.
 		AtomicPkgs: []string{i("live")},
+
+		// Machines whose Init/OnMsg handlers run inline on the event loops
+		// of internal/sim and internal/live: the algorithms, the universal
+		// simulation, the lower-bound machinery, and the classical
+		// baselines. A blocking operation in any of their handlers would
+		// deadlock the runtime.
+		HandlerPkgs: []string{
+			i("core"), i("defective"), i("lowerbound"), i("baseline"),
+		},
 	}
 }

@@ -1,0 +1,374 @@
+package lint
+
+// oblivious-taint: a flow-sensitive complement to oblivious-payload. The
+// syntactic check catches a handler that branches on its payload parameter
+// directly; this one tracks values *derived* from a payload — through
+// assignments, composite literals, struct fields, function returns, and
+// closures — and flags any branch whose condition depends on one. Under
+// the paper's model a pulse carries zero information, so payload-dependent
+// control flow anywhere in an oblivious package is a soundness hole even
+// when the payload parameter itself never appears in a condition.
+//
+// The analysis is a def-use fixed point over go/types objects, built on
+// the standard library only:
+//
+//   - seeds: every named parameter of the pulse type in any function,
+//     method, or closure of an oblivious package;
+//   - propagation: an assignment (including := and tuple forms), variable
+//     declaration with initializer, or range clause whose source is
+//     tainted taints its targets; a keyed struct literal taints both the
+//     literal and the named field object; a function or closure returning
+//     a tainted value taints every call of it (a closure stored in a
+//     variable taints calls through that variable);
+//   - sinks: if/for conditions, switch tags and case expressions, and
+//     type-switch subjects.
+//
+// Taint is object-granular and monotone, so the fixed point terminates;
+// it is deliberately conservative (a variable once tainted stays tainted)
+// because in this model there is no legitimate way to launder a payload.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintState is the monotone fact base of the fixed point.
+type taintState struct {
+	p *Package
+
+	// objs holds tainted variables: parameters, locals, struct fields,
+	// and package-level vars.
+	objs map[types.Object]bool
+
+	// funcs holds callables whose call results are tainted: declared
+	// functions/methods (*types.Func) and variables bound to tainted
+	// closures (*types.Var).
+	funcs map[types.Object]bool
+
+	// lits holds closure literals whose results are tainted.
+	lits map[*ast.FuncLit]bool
+
+	changed bool
+}
+
+func (s *taintState) taintObj(o types.Object) {
+	if o == nil || s.objs[o] {
+		return
+	}
+	s.objs[o] = true
+	s.changed = true
+}
+
+func (s *taintState) taintFunc(o types.Object) {
+	if o == nil || s.funcs[o] {
+		return
+	}
+	s.funcs[o] = true
+	s.changed = true
+}
+
+func (s *taintState) taintLit(fl *ast.FuncLit) {
+	if fl == nil || s.lits[fl] {
+		return
+	}
+	s.lits[fl] = true
+	s.changed = true
+}
+
+func checkObliviousTaint(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	if !matchPath(p.Path, r.Config.Oblivious) {
+		return
+	}
+	st := &taintState{
+		p:     p,
+		objs:  make(map[types.Object]bool),
+		funcs: make(map[types.Object]bool),
+		lits:  make(map[*ast.FuncLit]bool),
+	}
+
+	// Seed: every named pulse-typed parameter in the package. The payload
+	// reaches an algorithm only as a parameter (handlers and the helpers
+	// they forward to), so parameters are the complete source set.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var params *ast.FieldList
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				params = n.Type.Params
+			case *ast.FuncLit:
+				params = n.Type.Params
+			default:
+				return true
+			}
+			for _, field := range params.List {
+				for _, name := range field.Names {
+					v, ok := p.Info.Defs[name].(*types.Var)
+					if ok && name.Name != "_" && typeName(v.Type()) == r.Config.PulseType {
+						st.objs[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(st.objs) == 0 {
+		return
+	}
+
+	// Fixed point: propagate until no new object, function, or closure
+	// becomes tainted.
+	for {
+		st.changed = false
+		for _, f := range p.Files {
+			propagateTaint(st, f)
+		}
+		if !st.changed {
+			break
+		}
+	}
+
+	// Sinks: payload-derived control flow.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				reportTaintedCond(st, n.Cond, report)
+			case *ast.ForStmt:
+				reportTaintedCond(st, n.Cond, report)
+			case *ast.SwitchStmt:
+				reportTaintedCond(st, n.Tag, report)
+				for _, cc := range caseExprs(n.Body) {
+					reportTaintedCond(st, cc, report)
+				}
+			case *ast.TypeSwitchStmt:
+				if a, ok := n.Assign.(*ast.ExprStmt); ok {
+					if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+						reportTaintedCond(st, ta.X, report)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func caseExprs(body *ast.BlockStmt) []ast.Expr {
+	var out []ast.Expr
+	for _, stmt := range body.List {
+		if cc, ok := stmt.(*ast.CaseClause); ok {
+			out = append(out, cc.List...)
+		}
+	}
+	return out
+}
+
+func reportTaintedCond(st *taintState, cond ast.Expr, report func(token.Pos, string, string)) {
+	if cond == nil || !exprTainted(st, cond) {
+		return
+	}
+	report(cond.Pos(), CheckObliviousTaint,
+		fmt.Sprintf("branch condition %q is derived from a pulse payload (content-obliviousness: behaviour may depend only on arrival order and ports, and a pulse carries no information)",
+			types.ExprString(cond)))
+}
+
+// propagateTaint runs one monotone propagation pass over a file.
+func propagateTaint(st *taintState, f *ast.File) {
+	// funcStack tracks the enclosing function for return statements:
+	// either an *ast.FuncDecl or an *ast.FuncLit.
+	var funcStack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		pushed := false
+		switch n := n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			funcStack = append(funcStack, n)
+			pushed = true
+		case *ast.AssignStmt:
+			propagateAssign(st, n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, name := range n.Names {
+				lhs[i] = name
+			}
+			propagateAssign(st, lhs, n.Values)
+		case *ast.RangeStmt:
+			if exprTainted(st, n.X) {
+				taintTarget(st, n.Key)
+				taintTarget(st, n.Value)
+			}
+		case *ast.ReturnStmt:
+			if len(funcStack) > 0 && anyTainted(st, n.Results) {
+				taintEnclosing(st, funcStack[len(funcStack)-1])
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c)
+			return false
+		})
+		if pushed {
+			funcStack = funcStack[:len(funcStack)-1]
+		}
+	}
+	walk(f)
+}
+
+func taintEnclosing(st *taintState, fn ast.Node) {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		st.taintFunc(st.p.Info.Defs[fn.Name])
+	case *ast.FuncLit:
+		st.taintLit(fn)
+	}
+}
+
+func anyTainted(st *taintState, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if exprTainted(st, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// propagateAssign handles both pairwise (a, b = x, y) and tuple
+// (a, b = f()) assignment shapes.
+func propagateAssign(st *taintState, lhs, rhs []ast.Expr) {
+	switch {
+	case len(rhs) == 1 && len(lhs) > 1:
+		if exprTainted(st, rhs[0]) {
+			for _, l := range lhs {
+				taintTarget(st, l)
+			}
+		}
+	default:
+		for i, r := range rhs {
+			if i >= len(lhs) {
+				break
+			}
+			// Binding a closure to a variable carries the closure's
+			// result-taint onto the variable, so calls through it taint.
+			if fl, ok := unparen(r).(*ast.FuncLit); ok && st.lits[fl] {
+				if id, ok := unparen(lhs[i]).(*ast.Ident); ok {
+					st.taintFunc(objOf(st.p, id))
+				}
+			}
+			if exprTainted(st, r) {
+				taintTarget(st, lhs[i])
+			}
+		}
+	}
+}
+
+// taintTarget taints the object an assignment target stores into: an
+// identifier, a struct field selector, or the base of an index/deref.
+func taintTarget(st *taintState, e ast.Expr) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		st.taintObj(objOf(st.p, e))
+	case *ast.SelectorExpr:
+		if s, ok := st.p.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			st.taintObj(s.Obj())
+		}
+	case *ast.IndexExpr:
+		taintTarget(st, e.X)
+	case *ast.StarExpr:
+		taintTarget(st, e.X)
+	}
+}
+
+// objOf resolves an identifier to its object in either Defs or Uses.
+func objOf(p *Package, id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// exprTainted reports whether the value of e derives from a pulse payload
+// under the current fact base.
+func exprTainted(st *taintState, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return st.objs[objOf(st.p, e)]
+	case *ast.SelectorExpr:
+		if s, ok := st.p.Info.Selections[e]; ok {
+			if st.objs[s.Obj()] {
+				return true
+			}
+		}
+		// A field of a tainted struct value is tainted even if the field
+		// object itself never appeared on an assignment's left-hand side.
+		return exprTainted(st, e.X)
+	case *ast.CallExpr:
+		if tv, ok := st.p.Info.Types[e.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			// Conversions and builtins (len, cap, ...) pass taint through.
+			return anyTainted(st, e.Args)
+		}
+		switch fun := unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if st.funcs[objOf(st.p, fun)] {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if st.funcs[st.p.Info.Uses[fun.Sel]] {
+				return true
+			}
+		case *ast.FuncLit:
+			if st.lits[fun] {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return exprTainted(st, e.X) || exprTainted(st, e.Y)
+	case *ast.UnaryExpr:
+		return exprTainted(st, e.X)
+	case *ast.StarExpr:
+		return exprTainted(st, e.X)
+	case *ast.ParenExpr:
+		return exprTainted(st, e.X)
+	case *ast.TypeAssertExpr:
+		return exprTainted(st, e.X)
+	case *ast.IndexExpr:
+		return exprTainted(st, e.X)
+	case *ast.SliceExpr:
+		return exprTainted(st, e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+				// A keyed struct literal also taints the field object, so
+				// later reads through any value of the type are caught.
+				if exprTainted(st, v) {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						st.taintObj(st.p.Info.Uses[key])
+					}
+				}
+			}
+			if exprTainted(st, v) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package a is half of a deliberate import cycle (a -> b -> a), used to
+// prove the loader detects cycles instead of recursing forever.
+package a
+
+import "badfixt/cycle/b"
+
+// A references b so the import is used.
+const A = b.B + 1

@@ -1,0 +1,7 @@
+// Package b is the other half of the deliberate a -> b -> a import cycle.
+package b
+
+import "badfixt/cycle/a"
+
+// B references a so the import is used.
+const B = a.A + 1

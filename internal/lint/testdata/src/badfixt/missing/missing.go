@@ -1,0 +1,9 @@
+// Package missing imports a package that exists neither in the module nor
+// in the standard library, used to prove the loader surfaces resolution
+// failures as soft type errors instead of crashing.
+package missing
+
+import "no/such/stdlib"
+
+// Use the import so the file is otherwise well-formed.
+var _ = stdlib.Anything

@@ -1,0 +1,48 @@
+// Package atomiccopy is a fixture with by-value copies of sync/atomic
+// wrapper values, which silently fork their state. go vet's copylocks does
+// not flag these (wrapper types carry no Lock method).
+package atomiccopy
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+	name string
+}
+
+type wrapped struct {
+	inner counters
+}
+
+// snapshot copies the wrapper out of its struct: its Load now observes a
+// frozen fork while writers keep updating c.hits.
+func snapshot(c *counters) int64 {
+	snap := c.hits // want "by-value copy of sync/atomic.Int64"
+	return snap.Load()
+}
+
+// byArg copies the wrapper into a callee.
+func byArg(c *counters) {
+	consume(c.hits) // want "by-value copy of sync/atomic.Int64"
+}
+
+func consume(v atomic.Int64) { _ = v.Load() }
+
+// byStruct copies a whole struct that embeds a wrapper; the fork hides one
+// level down.
+func byStruct(c *counters) counters {
+	return *c // want "by-value copy of sync/atomic.Int64"
+}
+
+// byLiteral embeds a copied wrapper into a fresh composite literal.
+func byLiteral(c *counters) wrapped {
+	return wrapped{inner: *c} // want "by-value copy of sync/atomic.Int64"
+}
+
+// fine: addresses, method calls, and fresh zero values never fork state.
+func fine(c *counters) int64 {
+	p := &c.hits
+	var fresh atomic.Int64
+	fresh.Store(p.Load())
+	return fresh.Load() + c.hits.Load()
+}

@@ -1,0 +1,62 @@
+// Package handler is a fixture with blocking operations inside event
+// handlers (and helpers they reach), which would deadlock the event-driven
+// runtimes of internal/sim and internal/live.
+package handler
+
+import (
+	"sync"
+
+	"coleader/internal/pulse"
+)
+
+// Node blocks directly in Init and reaches a blocking helper from OnMsg.
+type Node struct {
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	gate chan pulse.Pulse
+}
+
+func (n *Node) Init(e func(pulse.Port, pulse.Pulse)) {
+	n.mu.Lock() // want "blocking sync.Mutex.Lock reachable from event handler"
+	defer n.mu.Unlock()
+	n.gate <- pulse.Pulse{} // want "blocking channel send reachable from event handler"
+}
+
+func (n *Node) OnMsg(p pulse.Port, _ pulse.Pulse, e func(pulse.Port, pulse.Pulse)) {
+	<-n.gate // want "blocking channel receive reachable from event handler"
+	n.helper()
+}
+
+// helper is not itself a handler, but OnMsg reaches it.
+func (n *Node) helper() {
+	n.wg.Wait() // want "blocking sync.WaitGroup.Wait reachable from event handler"
+}
+
+// Shutdown is not a handler and nothing reachable from one calls it: its
+// blocking wait is fine (it runs on the caller's goroutine, not the event
+// loop).
+func (n *Node) Shutdown() {
+	n.wg.Wait()
+}
+
+// Spawner shows the two permitted shapes: blocking inside a spawned
+// goroutine, and a select made non-blocking by a default clause.
+type Spawner struct {
+	gate chan pulse.Pulse
+}
+
+func (s *Spawner) Init(e func(pulse.Port, pulse.Pulse)) {
+	go func() {
+		s.gate <- pulse.Pulse{} // the goroutine blocks, not the handler
+	}()
+	select { // non-blocking: default clause
+	case <-s.gate:
+	default:
+	}
+}
+
+func (s *Spawner) OnMsg(p pulse.Port, _ pulse.Pulse, e func(pulse.Port, pulse.Pulse)) {
+	select { // want "blocking select without default reachable from event handler"
+	case <-s.gate:
+	}
+}

@@ -1,0 +1,70 @@
+// Package taint is a fixture with payload-derivation violations: branches
+// on values derived from a pulse payload through assignments, composite
+// literals, struct fields, function returns, and closures.
+package taint
+
+import "coleader/internal/pulse"
+
+type box struct{ v pulse.Pulse }
+
+// Sneaky launders its payload through a local and a struct field.
+type Sneaky struct {
+	stash pulse.Pulse
+}
+
+// OnMsg derives values from its payload and branches on them; none of
+// these conditions mention the parameter m directly.
+func (s *Sneaky) OnMsg(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	d := m
+	if d == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		forward(p, m)
+	}
+	b := box{v: m}
+	if b.v == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		forward(p.Opposite(), m)
+	}
+	s.stash = m
+}
+
+// laterBranch branches on a struct field that OnMsg tainted: field taint
+// survives across handler boundaries.
+func (s *Sneaky) laterBranch() {
+	if s.stash == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		return
+	}
+}
+
+// peek returns a payload-derived value, tainting every call of it.
+func peek(m pulse.Pulse) pulse.Pulse { return m }
+
+func viaReturn(m pulse.Pulse) int {
+	if peek(m) == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		return 1
+	}
+	return 0
+}
+
+// viaClosure taints through both closure shapes: a closure returning the
+// payload, and a closure writing it into an outer variable.
+func viaClosure(m pulse.Pulse) int {
+	grab := func() pulse.Pulse { return m }
+	if grab() == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		return 1
+	}
+	var d pulse.Pulse
+	set := func() { d = m }
+	set()
+	switch d { // want "branch condition .* derived from a pulse payload"
+	case pulse.Pulse{}:
+		return 2
+	}
+	return 0
+}
+
+// clean branches on the port and forwards the payload verbatim: the model
+// permits both.
+func clean(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	if p == pulse.Port0 {
+		forward(p, m)
+	}
+}

@@ -193,3 +193,28 @@ func TestFixtureAtomicMixed(t *testing.T) {
 	}
 	runFixture(t, cfg, "fixt/atomicmix")
 }
+
+func TestFixtureTaint(t *testing.T) {
+	cfg := lint.Config{
+		Oblivious: []string{"fixt/taint"},
+		PulseType: "coleader/internal/pulse.Pulse",
+		Checks:    []string{lint.CheckObliviousTaint},
+	}
+	runFixture(t, cfg, "fixt/taint")
+}
+
+func TestFixtureHandlerBlock(t *testing.T) {
+	cfg := lint.Config{
+		HandlerPkgs: []string{"fixt/handler"},
+		Checks:      []string{lint.CheckHandlerBlock},
+	}
+	runFixture(t, cfg, "fixt/handler")
+}
+
+func TestFixtureAtomicCopy(t *testing.T) {
+	cfg := lint.Config{
+		AtomicPkgs: []string{"fixt/atomiccopy"},
+		Checks:     []string{lint.CheckAtomicCopy},
+	}
+	runFixture(t, cfg, "fixt/atomiccopy")
+}
