@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -54,6 +54,21 @@ test:
 # simulator are the concurrency-bearing packages, but everything runs).
 race:
 	$(GO) test -race ./...
+
+# bench runs the root-package simulator benchmarks (bench_test.go) and
+# records the parsed results (time/op, allocs/op, custom metrics such as
+# pulses/op) into BENCH_sim.json under BENCH_LABEL, replacing any
+# existing entry with that label. Override for quick CI runs:
+#   make bench BENCHTIME=100ms BENCH_LABEL=ci
+BENCHTIME ?= 1x
+BENCH_LABEL ?= post
+BENCH_NOTE ?= benchtime $(BENCHTIME)
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| tee .bench-out.txt
+	$(GO) run ./cmd/benchjson -in .bench-out.txt -out BENCH_sim.json \
+		-label "$(BENCH_LABEL)" -note "$(BENCH_NOTE)"
+	@rm -f .bench-out.txt
 
 # fuzz-smoke gives every fuzz target a short budget; used by CI.
 fuzz-smoke:

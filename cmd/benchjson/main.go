@@ -1,0 +1,116 @@
+// Command benchjson records `go test -bench` output into a BENCH_*.json
+// regression file and compares labeled runs.
+//
+// Record a run (replacing any existing entry with the same label):
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -label post -out BENCH_sim.json
+//
+// Compare two recorded runs:
+//
+//	benchjson -out BENCH_sim.json -compare pre,post -metric ns/op
+//
+// The file schema is internal/benchjson.File; EXPERIMENTS.md documents it.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"coleader/internal/benchjson"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output to parse (default stdin)")
+	out := flag.String("out", "BENCH_sim.json", "regression file to update or compare within")
+	label := flag.String("label", "", "label for the recorded run (e.g. pre, post)")
+	note := flag.String("note", "", "free-form note stored with the run (benchtime, commit, ...)")
+	compare := flag.String("compare", "", "compare two labels ('old,new') instead of recording")
+	metric := flag.String("metric", "ns/op", "metric for -compare")
+	flag.Parse()
+
+	if err := run(*in, *out, *label, *note, *compare, *metric); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, label, note, compare, metric string) error {
+	if compare != "" {
+		return runCompare(out, compare, metric)
+	}
+	if label == "" {
+		return errors.New("-label is required when recording")
+	}
+
+	var src io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := benchjson.Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return errors.New("no benchmark result lines in input")
+	}
+
+	file, err := readFile(out)
+	if err != nil {
+		return err
+	}
+	file.Record(benchjson.Entry{Label: label, Note: note, Results: results})
+
+	var buf bytes.Buffer
+	if err := file.Encode(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks as %q in %s\n", len(results), label, out)
+	return nil
+}
+
+func runCompare(out, compare, metric string) error {
+	labels := strings.SplitN(compare, ",", 2)
+	if len(labels) != 2 || labels[0] == "" || labels[1] == "" {
+		return fmt.Errorf("-compare wants 'old,new', got %q", compare)
+	}
+	file, err := readFile(out)
+	if err != nil {
+		return err
+	}
+	old, ok := file.Find(labels[0])
+	if !ok {
+		return fmt.Errorf("no entry labeled %q in %s", labels[0], out)
+	}
+	cur, ok := file.Find(labels[1])
+	if !ok {
+		return fmt.Errorf("no entry labeled %q in %s", labels[1], out)
+	}
+	for _, line := range benchjson.Speedup(old, cur, metric) {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// readFile loads the regression file, treating a missing file as empty.
+func readFile(path string) (*benchjson.File, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		data = nil
+	} else if err != nil {
+		return nil, err
+	}
+	return benchjson.Decode(bytes.NewReader(data))
+}

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-exp E1|E2|...|all] [-seed N] [-markdown]
+//	experiments [-exp E1|E2|...|all] [-seed N] [-workers N] [-markdown]
+//
+// Independent-trial sweeps run on a worker pool (default GOMAXPROCS wide);
+// per-trial seeds are split from the root seed and results reduce in
+// trial-index order, so output is byte-identical at any -workers value.
 package main
 
 import (
@@ -22,7 +26,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "root seed for all randomized components")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	csvOut := flag.Bool("csv", false, "emit CSV (one block per table) for external plotting")
+	workers := flag.Int("workers", 0, "worker-pool width for independent-trial sweeps (0 = GOMAXPROCS); output is identical at any width")
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	var todo []experiments.Experiment
 	if strings.EqualFold(*exp, "all") {
@@ -59,8 +65,10 @@ func main() {
 				fmt.Println(t)
 			}
 		}
+		// Timing goes to stderr: stdout stays byte-identical run to run
+		// (and at any -workers width), so table diffs are clean.
 		if !*csvOut {
-			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
 }

@@ -1,0 +1,186 @@
+// Package benchjson parses `go test -bench` output into structured
+// records and maintains BENCH_*.json regression files: append-only logs
+// of benchmark runs (time/op, allocs/op, and custom metrics such as
+// pulses/op) that make performance changes diffable across PRs the same
+// way EXPERIMENTS.md makes the paper's tables diffable.
+//
+// The package is a pure parser/serializer with no internal dependencies;
+// cmd/benchjson is the CLI that `make bench` drives.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// trailing -GOMAXPROCS suffix, e.g. "Alg2Oriented/n=512".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the line (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: "ns/op", "B/op", "allocs/op", and any
+	// custom b.ReportMetric units ("pulses/op", "states/op", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Entry is one labeled benchmark run in a regression file.
+type Entry struct {
+	// Label identifies the run, e.g. "pre" and "post" around a perf PR,
+	// or a short commit description.
+	Label string `json:"label"`
+	// Note is free-form context (benchtime, machine, commit).
+	Note string `json:"note,omitempty"`
+	// Results are the run's parsed benchmark lines, in input order.
+	Results []Result `json:"results"`
+}
+
+// File is the schema of BENCH_*.json: a list of labeled runs, oldest
+// first. Re-recording an existing label replaces that entry in place, so
+// the file stays one entry per label.
+type File struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines in
+// order. Non-benchmark lines (goos/pkg headers, PASS/ok trailers, test
+// logs) are ignored. Parse fails on a line that starts like a benchmark
+// result but does not scan, rather than silently dropping measurements.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		res, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine scans one output line; ok reports whether it was a benchmark
+// result line at all.
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	// A result line is "BenchmarkName[-P] N value unit [value unit]...".
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false, nil
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return Result{}, false, nil // e.g. "BenchmarkFoo" alone on its announce line
+	}
+	res := Result{Metrics: map[string]float64{}}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			res.Procs = p
+			name = name[:i]
+		}
+	}
+	res.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+	}
+	res.Iterations = iters
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return Result{}, false, fmt.Errorf("benchjson: odd value/unit fields in %q", line)
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchjson: bad metric value in %q: %w", line, err)
+		}
+		res.Metrics[pairs[i+1]] = v
+	}
+	return res, true, nil
+}
+
+// Record inserts a labeled run into f: replacing the entry with the same
+// label if present, appending otherwise.
+func (f *File) Record(e Entry) {
+	for i := range f.Entries {
+		if f.Entries[i].Label == e.Label {
+			f.Entries[i] = e
+			return
+		}
+	}
+	f.Entries = append(f.Entries, e)
+}
+
+// Find returns the entry with the given label.
+func (f *File) Find(label string) (Entry, bool) {
+	for _, e := range f.Entries {
+		if e.Label == label {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Decode reads a regression file. An empty input decodes to an empty
+// File, so a missing-file read can be treated as zero bytes.
+func Decode(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if len(data) == 0 {
+		return f, nil
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("benchjson: decode: %w", err)
+	}
+	return f, nil
+}
+
+// Encode writes the regression file as indented JSON with a trailing
+// newline. Map keys serialize sorted (encoding/json guarantees this), so
+// output is deterministic for a given File.
+func (f *File) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Speedup compares metric m between two runs, matching results by Name,
+// and returns "name: old/new = factor" lines sorted by name. Results
+// present in only one run are skipped.
+func Speedup(old, new Entry, m string) []string {
+	prev := map[string]float64{}
+	for _, r := range old.Results {
+		prev[r.Name] = r.Metrics[m]
+	}
+	var lines []string
+	for _, r := range new.Results {
+		o, ok := prev[r.Name]
+		n := r.Metrics[m]
+		if !ok || o == 0 || n == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", r.Name, m, o, n, o/n))
+	}
+	sort.Strings(lines)
+	return lines
+}

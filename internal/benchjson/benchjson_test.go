@@ -1,0 +1,121 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: coleader
+cpu: AMD EPYC
+BenchmarkAlg2Oriented/n=2-8         	   39208	     30663 ns/op	     18432 B/op	       75 allocs/op	      10.00 pulses/op
+BenchmarkAlg2Oriented/n=512-8       	       1	2934206098 ns/op	65651456 B/op	 1431437 allocs/op	  524800 pulses/op
+BenchmarkExhaustive-8               	    6789	    176760 ns/op	        43.00 states/op	   59384 B/op	    1076 allocs/op
+PASS
+ok  	coleader	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	r := rs[1]
+	if r.Name != "Alg2Oriented/n=512" || r.Procs != 8 || r.Iterations != 1 {
+		t.Fatalf("bad header fields: %+v", r)
+	}
+	want := map[string]float64{
+		"ns/op": 2934206098, "B/op": 65651456, "allocs/op": 1431437, "pulses/op": 524800,
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+	if rs[2].Metrics["states/op"] != 43 {
+		t.Errorf("custom metric states/op = %v, want 43", rs[2].Metrics["states/op"])
+	}
+}
+
+func TestParseRejectsMalformedResultLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkBad-8 10 12.5 ns/op trailing\n"))
+	if err == nil {
+		t.Fatal("want error for odd value/unit fields")
+	}
+}
+
+func TestRecordReplacesByLabel(t *testing.T) {
+	var f File
+	f.Record(Entry{Label: "pre", Results: []Result{{Name: "A", Iterations: 1}}})
+	f.Record(Entry{Label: "post", Results: []Result{{Name: "A", Iterations: 2}}})
+	f.Record(Entry{Label: "pre", Results: []Result{{Name: "A", Iterations: 3}}})
+	if len(f.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (pre replaced in place)", len(f.Entries))
+	}
+	pre, ok := f.Find("pre")
+	if !ok || pre.Results[0].Iterations != 3 {
+		t.Fatalf("pre entry not replaced: %+v", pre)
+	}
+	if f.Entries[0].Label != "pre" {
+		t.Fatalf("replacement moved the entry: order %q, %q", f.Entries[0].Label, f.Entries[1].Label)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	f.Record(Entry{Label: "pre", Note: "benchtime 2x", Results: rs})
+
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 || len(got.Entries[0].Results) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Entries[0].Results[1].Metrics["allocs/op"] != 1431437 {
+		t.Fatal("metrics did not survive the round trip")
+	}
+
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("encode is not deterministic across a decode/encode cycle")
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	f, err := Decode(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 0 {
+		t.Fatalf("empty input decoded to %+v", f)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	old := Entry{Results: []Result{{Name: "A", Metrics: map[string]float64{"ns/op": 100}}}}
+	cur := Entry{Results: []Result{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 25}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 10}}, // no baseline: skipped
+	}}
+	lines := Speedup(old, cur, "ns/op")
+	if len(lines) != 1 || !strings.Contains(lines[0], "4.00x") {
+		t.Fatalf("speedup lines = %q", lines)
+	}
+}

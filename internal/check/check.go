@@ -15,7 +15,6 @@ package check
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"coleader/internal/node"
 	"coleader/internal/pulse"
@@ -89,6 +88,43 @@ type explorer struct {
 	visited map[string]struct{}
 	rep     Report
 	steps   []Step // schedule from the root to the current state
+	keyBuf  []byte // reusable buffer for state-key encoding
+}
+
+// key encodes st as a compact binary string into the reusable buffer:
+// per-machine fixed-width binary keys (node.KeyAppender when implemented,
+// length-prefixed StateKey text otherwise), fixed-width queue depths, and
+// packed init bits. The buffer is only valid until the next call; the
+// memo map copies it on insertion.
+func (ex *explorer) key(st *state) []byte {
+	b := ex.keyBuf[:0]
+	for _, m := range st.ms {
+		if ka, ok := m.(node.KeyAppender); ok {
+			b = ka.AppendStateKey(b)
+		} else {
+			k := m.StateKey()
+			b = node.AppendKey32(b, uint32(len(k)))
+			b = append(b, k...)
+		}
+	}
+	for _, q := range st.queues {
+		b = node.AppendKey32(b, q)
+	}
+	var w byte
+	for i, in := range st.inited {
+		if in {
+			w |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			b = append(b, w)
+			w = 0
+		}
+	}
+	if len(st.inited)&7 != 0 {
+		b = append(b, w)
+	}
+	ex.keyBuf = b
+	return b
 }
 
 // Exhaustive explores every schedule and returns statistics, or the first
@@ -157,25 +193,6 @@ func (st *state) clone() *state {
 		cp.ms[i] = m.CloneMachine().(node.Cloneable[pulse.Pulse])
 	}
 	return cp
-}
-
-func (st *state) key() string {
-	var b strings.Builder
-	for _, m := range st.ms {
-		b.WriteString(m.StateKey())
-		b.WriteByte(';')
-	}
-	for _, q := range st.queues {
-		fmt.Fprintf(&b, "%d,", q)
-	}
-	for _, in := range st.inited {
-		if in {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
-		}
-	}
-	return b.String()
 }
 
 // collector implements node.Emitter against the state's queues.
@@ -263,14 +280,14 @@ func (ex *explorer) dfs(st *state, depth int) error {
 	if depth > ex.rep.MaxDepth {
 		ex.rep.MaxDepth = depth
 	}
-	key := st.key()
-	if _, seen := ex.visited[key]; seen {
+	key := ex.key(st)
+	if _, seen := ex.visited[string(key)]; seen {
 		return nil
 	}
 	if len(ex.visited) >= ex.cfg.MaxStates {
 		return ex.wrap(fmt.Errorf("%w (%d)", ErrStateBudget, ex.cfg.MaxStates))
 	}
-	ex.visited[key] = struct{}{}
+	ex.visited[string(key)] = struct{}{}
 	ex.rep.StatesVisited++
 
 	inits, delivers := st.choices()

@@ -119,3 +119,20 @@ func (a *Alg2Unguarded) StateKey() string {
 	return fmt.Sprintf("a2u|%d|%d|%d|%d|%d|%d|%d|%t|%t",
 		a.id, a.cwPort, a.rhoCW, a.sigCW, a.rhoCCW, a.sigCCW, a.state, a.termSent, a.terminated)
 }
+
+// AppendStateKey implements node.KeyAppender: the binary form of StateKey.
+func (a *Alg2Unguarded) AppendStateKey(dst []byte) []byte {
+	flags := byte(a.state)
+	if a.termSent {
+		flags |= 1 << 4
+	}
+	if a.terminated {
+		flags |= 1 << 5
+	}
+	dst = append(dst, 'B', 'U', byte(a.cwPort), flags)
+	dst = node.AppendKey64(dst, a.id)
+	dst = node.AppendKey64(dst, a.rhoCW)
+	dst = node.AppendKey64(dst, a.sigCW)
+	dst = node.AppendKey64(dst, a.rhoCCW)
+	return node.AppendKey64(dst, a.sigCCW)
+}

@@ -93,3 +93,11 @@ func (a *Alg1) CloneMachine() node.PulseMachine {
 func (a *Alg1) StateKey() string {
 	return fmt.Sprintf("a1|%d|%d|%d|%d|%d", a.id, a.cwPort, a.rhoCW, a.sigCW, a.state)
 }
+
+// AppendStateKey implements node.KeyAppender: the binary form of StateKey.
+func (a *Alg1) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, 'B', '1', byte(a.cwPort), byte(a.state))
+	dst = node.AppendKey64(dst, a.id)
+	dst = node.AppendKey64(dst, a.rhoCW)
+	return node.AppendKey64(dst, a.sigCW)
+}

@@ -173,6 +173,20 @@ func (a *Alg3) StateKey() string {
 		a.id, a.scheme, a.rho[0], a.rho[1], a.sig[0], a.sig[1], a.state, a.oriented, a.cwPort)
 }
 
+// AppendStateKey implements node.KeyAppender: the binary form of StateKey.
+func (a *Alg3) AppendStateKey(dst []byte) []byte {
+	flags := byte(a.state)
+	if a.oriented {
+		flags |= 1 << 4
+	}
+	dst = append(dst, 'B', '3', byte(a.scheme), byte(a.cwPort), flags)
+	dst = node.AppendKey64(dst, a.id)
+	dst = node.AppendKey64(dst, a.rho[0])
+	dst = node.AppendKey64(dst, a.rho[1])
+	dst = node.AppendKey64(dst, a.sig[0])
+	return node.AppendKey64(dst, a.sig[1])
+}
+
 func max64(a, b uint64) uint64 {
 	if a > b {
 		return a

@@ -91,3 +91,11 @@ func (a *Alg3Resample) CloneMachine() node.PulseMachine {
 func (a *Alg3Resample) StateKey() string {
 	return fmt.Sprintf("a3r|%s|%d|%d", a.inner.StateKey(), a.rng.State(), a.resamples)
 }
+
+// AppendStateKey implements node.KeyAppender: the binary form of StateKey.
+func (a *Alg3Resample) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, 'B', 'R')
+	dst = a.inner.AppendStateKey(dst)
+	dst = node.AppendKey64(dst, a.rng.State())
+	return node.AppendKey64(dst, uint64(a.resamples))
+}

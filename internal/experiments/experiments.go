@@ -24,6 +24,7 @@ import (
 	"coleader/internal/sim"
 	"coleader/internal/stats"
 	"coleader/internal/trace"
+	"coleader/internal/xrand"
 )
 
 // Experiment is one registered regenerator.
@@ -74,58 +75,89 @@ func boolMark(ok bool) string {
 
 // E1 sweeps Algorithm 2 over sizes, ID assignments, and schedulers,
 // asserting the exact Theorem 1 complexity and termination discipline.
+// Cells are independent runs: they execute on the sweep worker pool with
+// per-cell split seeds and are reduced in cell order, so the table is
+// identical at any worker count.
 func E1(seed int64) ([]*stats.Table, error) {
 	t := stats.NewTable(
 		"E1 — Theorem 1: Algorithm 2 on oriented rings (predicted = n(2·ID_max+1))",
 		"n", "ID scheme", "ID_max", "scheduler", "pulses", "predicted", "exact", "leader=max", "leader last")
-	rng := rand.New(rand.NewSource(seed))
-	type assign struct {
-		name string
-		ids  []uint64
+	assignNames := []string{"consecutive", "permuted", "sparse(n^2)", "adversarial(8n)"}
+	idsFor := func(n, asIdx int) ([]uint64, error) {
+		rng := rand.New(rand.NewSource(xrand.Split(seed, 0xE1, uint64(n), uint64(asIdx))))
+		switch asIdx {
+		case 0:
+			return ring.ConsecutiveIDs(n), nil
+		case 1:
+			return ring.PermutedIDs(n, rng), nil
+		case 2:
+			return ring.SparseIDs(n, uint64(n)*uint64(n)+16, rng)
+		default:
+			return ring.AdversarialIDs(n, uint64(8*n))
+		}
 	}
+	type cell struct {
+		n, asIdx  int
+		schedName string
+	}
+	var cells []cell
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		sparse, err := ring.SparseIDs(n, uint64(n)*uint64(n)+16, rng)
-		if err != nil {
-			return nil, err
-		}
-		adversarial, err := ring.AdversarialIDs(n, uint64(8*n))
-		if err != nil {
-			return nil, err
-		}
-		assigns := []assign{
-			{"consecutive", ring.ConsecutiveIDs(n)},
-			{"permuted", ring.PermutedIDs(n, rng)},
-			{"sparse(n^2)", sparse},
-			{"adversarial(8n)", adversarial},
-		}
-		for _, as := range assigns {
+		for asIdx := range assignNames {
 			for _, schedName := range []string{"canonical", "random", "ccw-first"} {
-				sched := sim.Stock(seed)[schedName]
-				topo, err := ring.Oriented(n)
-				if err != nil {
-					return nil, err
-				}
-				ms, err := core.Alg2Machines(topo, as.ids)
-				if err != nil {
-					return nil, err
-				}
-				s, err := sim.New(topo, ms, sched)
-				if err != nil {
-					return nil, err
-				}
-				idMax := ring.MaxID(as.ids)
-				pred := core.PredictedAlg2Pulses(n, idMax)
-				res, err := s.Run(4*pred + 1024)
-				if err != nil {
-					return nil, fmt.Errorf("E1 n=%d %s %s: %w", n, as.name, schedName, err)
-				}
-				maxIdx, _ := ring.MaxIndex(as.ids)
-				t.AddRow(n, as.name, idMax, schedName, res.Sent, pred,
-					boolMark(res.Sent == pred),
-					boolMark(res.Leader == maxIdx),
-					boolMark(len(res.TerminationOrder) == n && res.TerminationOrder[n-1] == maxIdx))
+				cells = append(cells, cell{n, asIdx, schedName})
 			}
 		}
+	}
+	type row struct {
+		idMax, sent, pred            uint64
+		exact, leaderMax, leaderLast bool
+		err                          error
+	}
+	rows := make([]row, len(cells))
+	parDo(len(cells), func(i int) {
+		c := cells[i]
+		ids, err := idsFor(c.n, c.asIdx)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		topo, err := ring.Oriented(c.n)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		ms, err := core.Alg2Machines(topo, ids)
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		s, err := sim.New(topo, ms, sim.Stock(seed)[c.schedName])
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		idMax := ring.MaxID(ids)
+		pred := core.PredictedAlg2Pulses(c.n, idMax)
+		res, err := s.Run(4*pred + 1024)
+		if err != nil {
+			rows[i].err = fmt.Errorf("E1 n=%d %s %s: %w", c.n, assignNames[c.asIdx], c.schedName, err)
+			return
+		}
+		maxIdx, _ := ring.MaxIndex(ids)
+		rows[i] = row{
+			idMax: idMax, sent: res.Sent, pred: pred,
+			exact:      res.Sent == pred,
+			leaderMax:  res.Leader == maxIdx,
+			leaderLast: len(res.TerminationOrder) == c.n && res.TerminationOrder[c.n-1] == maxIdx,
+		}
+	})
+	for i, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		c := cells[i]
+		t.AddRow(c.n, assignNames[c.asIdx], r.idMax, c.schedName, r.sent, r.pred,
+			boolMark(r.exact), boolMark(r.leaderMax), boolMark(r.leaderLast))
 	}
 	return []*stats.Table{t}, nil
 }
@@ -211,18 +243,26 @@ func E3(seed int64) ([]*stats.Table, error) {
 	rate := stats.NewTable(
 		"E3a — Lemma 18: unique-maximum rate of Algorithm 4 (10000 trials each)",
 		"n", "c", "unique-max rate", "median ID_max", "p99 ID_max")
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range []int{8, 16, 32, 64, 128, 256} {
-		for _, c := range []float64{0.5, 1, 2, 3} {
+		for ci, c := range []float64{0.5, 1, 2, 3} {
 			const trials = 10000
+			type draw struct {
+				unique bool
+				max    float64
+			}
+			draws := make([]draw, trials)
+			parDo(trials, func(i int) {
+				rng := rand.New(rand.NewSource(xrand.Split(seed, 0xE3A, uint64(n), uint64(ci), uint64(i))))
+				ids := core.SampleIDs(rng, n, c)
+				draws[i] = draw{core.UniqueMax(ids), float64(ring.MaxID(ids))}
+			})
 			unique := 0
 			maxes := make([]float64, 0, trials)
-			for i := 0; i < trials; i++ {
-				ids := core.SampleIDs(rng, n, c)
-				if core.UniqueMax(ids) {
+			for _, d := range draws {
+				if d.unique {
 					unique++
 				}
-				maxes = append(maxes, float64(ring.MaxID(ids)))
+				maxes = append(maxes, d.max)
 			}
 			sum := stats.Summarize(maxes)
 			rate.AddRow(n, c, float64(unique)/trials, sum.P50, sum.P99)
@@ -235,36 +275,61 @@ func E3(seed int64) ([]*stats.Table, error) {
 	for _, n := range []int{6, 12, 24} {
 		const c = 1.0
 		const trials = 60
-		ran, uniqueDraws, correct := 0, 0, 0
-		var pulses []float64
-		for i := 0; i < trials; i++ {
+		type trial struct {
+			ran, unique, correct bool
+			pulses               float64
+			err                  error
+		}
+		res := make([]trial, trials)
+		parDo(trials, func(i int) {
+			rng := rand.New(rand.NewSource(xrand.Split(seed, 0xE3B, uint64(n), uint64(i))))
 			ids := core.SampleIDs(rng, n, c)
 			pred := core.PredictedAlg3Pulses(n, ring.MaxID(ids), core.SchemeSuccessor)
 			if pred > 2_000_000 {
-				continue // heavy-tail draw; magnitude covered by E3a
+				return // heavy-tail draw; magnitude covered by E3a
 			}
-			ran++
 			topo, err := ring.RandomNonOriented(n, rng)
 			if err != nil {
-				return nil, err
+				res[i].err = err
+				return
 			}
 			ms, err := core.Alg3Machines(n, ids, core.SchemeSuccessor)
 			if err != nil {
-				return nil, err
+				res[i].err = err
+				return
 			}
-			s, err := sim.New(topo, ms, sim.NewRandom(seed+int64(i)))
+			s, err := sim.New(topo, ms, sim.NewRandom(xrand.Split(seed, 0xE3B+1, uint64(n), uint64(i))))
 			if err != nil {
-				return nil, err
+				res[i].err = err
+				return
 			}
-			res, err := s.Run(4*pred + 1024)
+			r, err := s.Run(4*pred + 1024)
 			if err != nil {
-				return nil, fmt.Errorf("E3 n=%d trial %d: %w", n, i, err)
+				res[i].err = fmt.Errorf("E3 n=%d trial %d: %w", n, i, err)
+				return
 			}
-			pulses = append(pulses, float64(res.Sent))
 			maxIdx, uniq := ring.MaxIndex(ids)
-			if uniq {
+			res[i] = trial{
+				ran:     true,
+				unique:  uniq,
+				correct: uniq && r.Leader == maxIdx,
+				pulses:  float64(r.Sent),
+			}
+		})
+		ran, uniqueDraws, correct := 0, 0, 0
+		var pulses []float64
+		for _, tr := range res {
+			if tr.err != nil {
+				return nil, tr.err
+			}
+			if !tr.ran {
+				continue
+			}
+			ran++
+			pulses = append(pulses, tr.pulses)
+			if tr.unique {
 				uniqueDraws++
-				if res.Leader == maxIdx {
+				if tr.correct {
 					correct++
 				}
 			}
@@ -514,13 +579,17 @@ func E8(seed int64) ([]*stats.Table, error) {
 	t := stats.NewTable(
 		"E8 — Proposition 19: all-distinct IDs at quiescence (resampling variant of Algorithm 3)",
 		"n", "ID_max", "trials", "all distinct", "rate", "mean resamples/node")
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range []int{4, 8, 12} {
 		for _, idMax := range []uint64{64, 1024, 65536} {
 			const trials = 40
-			distinct := 0
-			var resamples []float64
-			for i := 0; i < trials; i++ {
+			type trial struct {
+				distinct  bool
+				resamples float64
+				err       error
+			}
+			res := make([]trial, trials)
+			parDo(trials, func(i int) {
+				rng := rand.New(rand.NewSource(xrand.Split(seed, 0xE8, uint64(n), idMax, uint64(i))))
 				ids := make([]uint64, n)
 				for j := range ids {
 					ids[j] = 1 + uint64(rng.Intn(3)) // maximal collision pressure
@@ -528,19 +597,24 @@ func E8(seed int64) ([]*stats.Table, error) {
 				ids[rng.Intn(n)] = idMax
 				topo, err := ring.RandomNonOriented(n, rng)
 				if err != nil {
-					return nil, err
+					res[i].err = err
+					return
 				}
-				ms, err := core.Alg3ResampleMachines(n, ids, core.SchemeSuccessor, seed+int64(i*100))
+				ms, err := core.Alg3ResampleMachines(n, ids, core.SchemeSuccessor,
+					xrand.Split(seed, 0xE8+1, uint64(n), idMax, uint64(i)))
 				if err != nil {
-					return nil, err
+					res[i].err = err
+					return
 				}
-				s, err := sim.New(topo, ms, sim.NewRandom(seed+int64(i)))
+				s, err := sim.New(topo, ms, sim.NewRandom(xrand.Split(seed, 0xE8+2, uint64(n), idMax, uint64(i))))
 				if err != nil {
-					return nil, err
+					res[i].err = err
+					return
 				}
 				pred := core.PredictedAlg3Pulses(n, idMax, core.SchemeSuccessor)
 				if _, err := s.Run(4*pred + 1024); err != nil {
-					return nil, fmt.Errorf("E8 n=%d trial %d: %w", n, i, err)
+					res[i].err = fmt.Errorf("E8 n=%d trial %d: %w", n, i, err)
+					return
 				}
 				final := make([]uint64, n)
 				var rs float64
@@ -549,10 +623,21 @@ func E8(seed int64) ([]*stats.Table, error) {
 					final[k] = m.ID()
 					rs += float64(m.Resamples())
 				}
-				resamples = append(resamples, rs/float64(n))
-				if ring.CheckDistinct(final) == nil {
+				res[i] = trial{
+					distinct:  ring.CheckDistinct(final) == nil,
+					resamples: rs / float64(n),
+				}
+			})
+			distinct := 0
+			var resamples []float64
+			for _, tr := range res {
+				if tr.err != nil {
+					return nil, tr.err
+				}
+				if tr.distinct {
 					distinct++
 				}
+				resamples = append(resamples, tr.resamples)
 			}
 			t.AddRow(n, idMax, trials, distinct, float64(distinct)/trials,
 				stats.Summarize(resamples).Mean)

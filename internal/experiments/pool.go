@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the worker-pool width used by the independent-trial sweeps
+// (E1, E3, E8). Trials are seeded per index via xrand.Split and reduced
+// in trial-index order, so any width — including 1 — yields byte-identical
+// tables; width only changes wall-clock time.
+var workers = runtime.GOMAXPROCS(0)
+
+// SetWorkers sets the sweep worker-pool width. n <= 0 restores the
+// default (GOMAXPROCS). Not safe to call concurrently with a running
+// experiment; cmd/experiments calls it once at startup.
+func SetWorkers(n int) {
+	if n <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		return
+	}
+	workers = n
+}
+
+// parDo runs f(0), ..., f(n-1) across the worker pool and returns once
+// all calls have completed. f must be index-pure: it writes its result
+// only into storage addressed by its own index, never reads another
+// index's result, and derives any randomness from a per-index split
+// seed. The caller then reduces index-ascending, which makes the overall
+// computation independent of worker count and interleaving.
+func parDo(n int, f func(i int)) {
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -38,10 +38,11 @@ func DefaultConfig() Config {
 		// constrain encoding/*).
 		Layers: map[string][]string{
 			// Foundation: no internal deps.
-			i("pulse"): {},
-			i("xrand"): {},
-			i("stats"): {},
-			i("lint"):  {},
+			i("pulse"):     {},
+			i("xrand"):     {},
+			i("stats"):     {},
+			i("lint"):      {},
+			i("benchjson"): {},
 
 			// Model vocabulary over pulses.
 			i("node"): {i("pulse")},
@@ -67,7 +68,7 @@ func DefaultConfig() Config {
 			i("experiments"): {
 				i("baseline"), i("check"), i("core"), i("defective"),
 				i("lowerbound"), i("node"), i("pulse"), i("ring"),
-				i("sim"), i("stats"), i("trace"),
+				i("sim"), i("stats"), i("trace"), i("xrand"),
 			},
 
 			// Facade.

@@ -1,0 +1,9 @@
+// Package leaf is registered as a foundation package (no internal deps
+// allowed), mirroring leaves like internal/benchjson: any module-internal
+// import must be flagged.
+package leaf
+
+import "fixt/layer/a" // want "fixt/layer/leaf may not import fixt/layer/a"
+
+// UsesA forces the import to survive compilation.
+const UsesA = a.Base

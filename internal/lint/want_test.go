@@ -177,13 +177,17 @@ func TestFixtureLayering(t *testing.T) {
 			"fixt/layer/a": {},
 			"fixt/layer/b": {"fixt/layer/a"},
 			"fixt/layer/c": {"fixt/layer/b"},
+			// leaf is registered with no allowed internal deps, like the
+			// real foundation packages (pulse, xrand, stats, benchjson).
+			"fixt/layer/leaf": {},
 			// fixt/layer/unreg deliberately absent.
 		},
 		// The non-layer fixture packages are out of scope for this test.
 		LayerExempt: []string{"fixt/obliv", "fixt/det", "fixt/content", "fixt/atomicmix"},
 		Checks:      []string{lint.CheckLayerDAG},
 	}
-	runFixture(t, cfg, "fixt/layer/a", "fixt/layer/b", "fixt/layer/c", "fixt/layer/unreg")
+	runFixture(t, cfg, "fixt/layer/a", "fixt/layer/b", "fixt/layer/c",
+		"fixt/layer/leaf", "fixt/layer/unreg")
 }
 
 func TestFixtureAtomicMixed(t *testing.T) {

@@ -63,6 +63,29 @@ type Cloneable[M any] interface {
 	StateKey() string
 }
 
+// KeyAppender is an optional extension of Cloneable: machines that can
+// append a compact fixed-width binary encoding of their state to a
+// caller-provided buffer. The encoding must carry exactly the information
+// of StateKey (two machines share a binary key iff they share a StateKey)
+// but avoids the per-state formatting and string assembly cost, which
+// dominates memoized exhaustive exploration. Encodings should begin with
+// a short type tag so keys of different machine types never collide.
+type KeyAppender interface {
+	AppendStateKey(dst []byte) []byte
+}
+
+// AppendKey64 appends v to dst in little-endian order: the fixed-width
+// building block of binary state keys.
+func AppendKey64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// AppendKey32 appends v to dst in little-endian order.
+func AppendKey32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
 // State is a node's leader-election output.
 type State uint8
 

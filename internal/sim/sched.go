@@ -23,6 +23,17 @@ type View interface {
 	Step() uint64
 }
 
+// OldestView is an optional fast path a View may provide: the channel
+// holding the globally oldest deliverable message in O(log n), backed by
+// the simulator's incrementally maintained heap. Sequence numbers are
+// unique, so the answer is exactly the channel a min-HeadSeq scan over
+// Deliverable() selects — schedulers using it make identical decisions,
+// just faster. ok is false when the fast path is unavailable (the rescan
+// reference simulator), in which case callers must fall back to the scan.
+type OldestView interface {
+	OldestDeliverable() (c int, ok bool)
+}
+
 type view[M any] struct{ s *Sim[M] }
 
 func (v *view[M]) Deliverable() []int              { return v.s.Deliverable() }
@@ -30,6 +41,7 @@ func (v *view[M]) HeadSeq(c int) uint64            { return v.s.headSeq(c) }
 func (v *view[M]) QueueLen(c int) int              { return v.s.QueueLen(c) }
 func (v *view[M]) Direction(c int) pulse.Direction { return v.s.chanDir[c] }
 func (v *view[M]) Step() uint64                    { return v.s.step }
+func (v *view[M]) OldestDeliverable() (int, bool)  { return v.s.oldestDeliverable() }
 
 // Scheduler chooses the next delivery. Next is called only when at least
 // one channel is deliverable and must return one of View.Deliverable().
@@ -49,6 +61,11 @@ type Canonical struct{}
 
 // Next implements Scheduler.
 func (Canonical) Next(v View) int {
+	if ov, ok := v.(OldestView); ok {
+		if c, ok := ov.OldestDeliverable(); ok {
+			return c
+		}
+	}
 	ds := v.Deliverable()
 	best := ds[0]
 	for _, c := range ds[1:] {

@@ -22,6 +22,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"coleader/internal/node"
 	"coleader/internal/pulse"
@@ -104,12 +105,36 @@ type Sim[M any] struct {
 	sched    Scheduler
 	obs      []Observer[M]
 
-	queues  [][]entry[M] // per channel; channel id = node*2 + port
+	queues  []fifo[M] // per channel; channel id = node*2 + port
 	inited  []bool
 	termAt  []uint64 // step+1 at which node terminated; 0 = live
 	ordTerm []int
 
-	chanDir []pulse.Direction // direction of travel on each channel
+	chanDir []pulse.Direction // arrival direction on each channel
+	outDir  []pulse.Direction // travel direction of sends out of (node, port)
+	peer    []ring.Endpoint   // receiving endpoint of sends out of (node, port)
+	peerCh  []int             // channel id of peer, same indexing
+
+	// deliv is the incrementally maintained deliverable set: bit c is set
+	// iff channel c holds a queued message whose receiver is initialized,
+	// unterminated, and Ready. It is updated at every point deliverability
+	// can change — enqueue, dequeue, init, termination, and Ready
+	// transitions (a machine's Ready only changes inside its own handlers,
+	// so refreshing the acting node's two channels after each handler
+	// covers every transition). rescan disables it in favor of the
+	// retained full-scan reference.
+	deliv      bitset
+	delivCount int
+	rescan     bool
+
+	// oldest is a lazy min-heap over (head sequence number, channel) of
+	// deliverable channels: the canonical scheduler's pick in O(log n)
+	// instead of an O(n) scan. Entries are validated on inspection (the
+	// channel must still be deliverable with that exact head), stale ones
+	// are dropped lazily, and heapSeq deduplicates pushes so each
+	// (channel, seq) pair is enqueued at most once.
+	oldest  []heapEntry
+	heapSeq []uint64 // last seq pushed per channel; 0 = none
 
 	step      uint64
 	seq       uint64
@@ -126,6 +151,126 @@ type Sim[M any] struct {
 type entry[M any] struct {
 	seq uint64
 	msg M
+}
+
+// fifo is a head-indexed ring buffer holding one channel's queued
+// messages. Unlike q = q[1:] re-slicing it never pins its backing array:
+// popped slots are reused, so a channel that stays shallow never grows
+// past a few entries no matter how many messages pass through it.
+type fifo[M any] struct {
+	buf  []entry[M] // power-of-two capacity
+	head int
+	n    int
+}
+
+func (q *fifo[M]) push(e entry[M]) {
+	if q.n == len(q.buf) {
+		grown := make([]entry[M], max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
+	q.n++
+}
+
+func (q *fifo[M]) pop() entry[M] {
+	e := q.buf[q.head]
+	q.buf[q.head] = entry[M]{} // release any payload reference
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return e
+}
+
+func (q *fifo[M]) front() *entry[M] { return &q.buf[q.head] }
+
+// heapEntry is one candidate in the oldest-deliverable min-heap.
+type heapEntry struct {
+	seq uint64
+	c   int
+}
+
+func (s *Sim[M]) heapPush(c int, seq uint64) {
+	if s.heapSeq[c] == seq {
+		return // this exact candidate is already enqueued
+	}
+	s.heapSeq[c] = seq
+	h := append(s.oldest, heapEntry{seq: seq, c: c})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].seq <= h[i].seq {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	s.oldest = h
+}
+
+// heapDrop removes the root, clearing its dedup mark if it still owns it.
+func (s *Sim[M]) heapDrop() {
+	h := s.oldest
+	top := h[0]
+	if s.heapSeq[top.c] == top.seq {
+		s.heapSeq[top.c] = 0
+	}
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].seq < h[small].seq {
+			small = l
+		}
+		if r < len(h) && h[r].seq < h[small].seq {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	s.oldest = h
+}
+
+// oldestDeliverable returns the deliverable channel holding the globally
+// oldest (smallest sequence number) deliverable message. Sequence numbers
+// are unique, so this is exactly the channel the canonical scan selects.
+// ok is false in rescan mode, forcing callers onto the reference path.
+func (s *Sim[M]) oldestDeliverable() (c int, ok bool) {
+	if s.rescan {
+		return 0, false
+	}
+	for len(s.oldest) > 0 {
+		top := s.oldest[0]
+		if s.deliv.get(top.c) && s.queues[top.c].front().seq == top.seq {
+			return top.c, true
+		}
+		s.heapDrop() // stale: delivered already, or channel not deliverable
+	}
+	return 0, false
+}
+
+// bitset indexes channels; word i holds channels 64i..64i+63.
+type bitset []uint64
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (i & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+func (b bitset) appendInto(dst []int) []int {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // Observer receives every simulator event; returning an error aborts the
@@ -149,6 +294,16 @@ func WithObserver[M any](o Observer[M]) Option[M] {
 	return func(s *Sim[M]) { s.obs = append(s.obs, o) }
 }
 
+// WithRescanDeliverable makes Deliverable recompute the deliverable set
+// with a full scan over every channel on every call, instead of reading
+// the incrementally maintained set. It is the retained naive reference
+// implementation: the two must agree exactly (same channels, same
+// ascending order), which the scheduler-trace differential tests assert
+// for every stock scheduler.
+func WithRescanDeliverable[M any]() Option[M] {
+	return func(s *Sim[M]) { s.rescan = true }
+}
+
 // New builds a simulation of machines on topology t driven by sched.
 // len(machines) must equal t.N().
 func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, opts ...Option[M]) (*Sim[M], error) {
@@ -163,16 +318,27 @@ func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, op
 		topo:     t,
 		machines: machines,
 		sched:    sched,
-		queues:   make([][]entry[M], 2*n),
+		queues:   make([]fifo[M], 2*n),
 		inited:   make([]bool, n),
 		termAt:   make([]uint64, n),
 		chanDir:  make([]pulse.Direction, 2*n),
+		outDir:   make([]pulse.Direction, 2*n),
+		peer:     make([]ring.Endpoint, 2*n),
+		peerCh:   make([]int, 2*n),
+		deliv:    make(bitset, (2*n+63)/64),
+		heapSeq:  make([]uint64, 2*n),
 	}
 	for k := 0; k < n; k++ {
 		for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
 			// Channel into (k, p) carries messages traveling opposite to
-			// the direction k would send out of p.
-			s.chanDir[chanID(k, p)] = t.ArrivalDirection(k, p)
+			// the direction k would send out of p. The outgoing wiring is
+			// cached here once so flushSends never consults the topology
+			// on the per-send path.
+			c := chanID(k, p)
+			s.chanDir[c] = t.ArrivalDirection(k, p)
+			s.outDir[c] = t.DirectionOf(k, p)
+			s.peer[c] = t.Peer(k, p)
+			s.peerCh[c] = chanID(s.peer[c].Node, s.peer[c].Port)
 		}
 	}
 	s.em.s = s
@@ -223,31 +389,58 @@ func (s *Sim[M]) flushSends(from int, ev *Event) error {
 			want = pulse.CCW
 		}
 		for _, ps := range buf {
-			if s.topo.DirectionOf(from, ps.port) != want {
+			out := chanID(from, ps.port)
+			if s.outDir[out] != want {
 				continue
 			}
-			to := s.topo.Peer(from, ps.port)
+			to := s.peer[out]
 			if s.termAt[to.Node] != 0 {
 				return fmt.Errorf("%w: node %d sent %s toward node %d",
 					ErrPostTerminationSend, from, want, to.Node)
 			}
 			s.seq++
-			c := chanID(to.Node, to.Port)
-			s.queues[c] = append(s.queues[c], entry[M]{seq: s.seq, msg: ps.msg})
+			c := s.peerCh[out]
+			s.queues[c].push(entry[M]{seq: s.seq, msg: ps.msg})
 			s.sent++
 			if want == pulse.CW {
 				s.sentCW++
 			} else {
 				s.sentCCW++
 			}
-			ev.Sends = append(ev.Sends, SendRec{From: from, Port: ps.port, Dir: want, To: to})
+			if s.queues[c].n == 1 {
+				// Empty -> non-empty is the only enqueue transition that
+				// can change deliverability.
+				s.refreshChan(c)
+			}
+			if ev != nil {
+				ev.Sends = append(ev.Sends, SendRec{From: from, Port: ps.port, Dir: want, To: to})
+			}
 		}
 	}
 	s.em.buf = s.em.buf[:0]
 	return nil
 }
 
-// afterHandler performs the built-in checks and notifies observers.
+// refreshChan recomputes channel c's bit in the deliverable set and, when
+// deliverable, registers its current head in the oldest-message heap.
+func (s *Sim[M]) refreshChan(c int) {
+	k := ChanNode(c)
+	was := s.deliv.get(c)
+	if s.queues[c].n > 0 && s.inited[k] && s.termAt[k] == 0 && s.machines[k].Ready(ChanPort(c)) {
+		if !was {
+			s.deliv.set(c)
+			s.delivCount++
+		}
+		s.heapPush(c, s.queues[c].front().seq)
+	} else if was {
+		s.deliv.clear(c)
+		s.delivCount--
+	}
+}
+
+// afterHandler performs the built-in checks, brings the deliverable set
+// up to date with node k's post-handler state, and notifies observers.
+// ev is nil exactly when no observer is attached.
 func (s *Sim[M]) afterHandler(k int, ev *Event) error {
 	st := s.machines[k].Status()
 	if st.Err != nil {
@@ -256,13 +449,21 @@ func (s *Sim[M]) afterHandler(k int, ev *Event) error {
 	if st.Terminated && s.termAt[k] == 0 {
 		s.termAt[k] = s.step + 1
 		s.ordTerm = append(s.ordTerm, k)
-		if len(s.queues[chanID(k, pulse.Port0)]) != 0 || len(s.queues[chanID(k, pulse.Port1)]) != 0 {
+		if s.queues[chanID(k, pulse.Port0)].n != 0 || s.queues[chanID(k, pulse.Port1)].n != 0 {
 			return fmt.Errorf("%w: node %d", ErrTerminatedNonEmpty, k)
 		}
 	}
-	for _, o := range s.obs {
-		if err := o.OnEvent(ev, s); err != nil {
-			return fmt.Errorf("sim: observer: %w", err)
+	// A machine's Ready answers only change inside its own handlers, so
+	// re-evaluating the acting node's two channels (the queue pop and the
+	// enqueues were refreshed at their own sites) restores the invariant
+	// before observers — which may call Deliverable — run.
+	s.refreshChan(chanID(k, pulse.Port0))
+	s.refreshChan(chanID(k, pulse.Port1))
+	if ev != nil {
+		for _, o := range s.obs {
+			if err := o.OnEvent(ev, s); err != nil {
+				return fmt.Errorf("sim: observer: %w", err)
+			}
 		}
 	}
 	return nil
@@ -282,13 +483,16 @@ func (s *Sim[M]) InitNode(k int) error {
 	}
 	s.inited[k] = true
 	s.step++
-	ev := Event{Kind: EvInit, Step: s.step, Node: k}
+	var ev *Event
+	if len(s.obs) > 0 {
+		ev = &Event{Kind: EvInit, Step: s.step, Node: k}
+	}
 	s.em.from = k
 	s.machines[k].Init(&s.em)
-	if err := s.flushSends(k, &ev); err != nil {
+	if err := s.flushSends(k, ev); err != nil {
 		return s.fail(err)
 	}
-	if err := s.afterHandler(k, &ev); err != nil {
+	if err := s.afterHandler(k, ev); err != nil {
 		return s.fail(err)
 	}
 	return nil
@@ -301,11 +505,13 @@ func (s *Sim[M]) fail(err error) error {
 	return err
 }
 
-// deliverableInto appends the ids of channels with a queued message whose
-// receiving machine is initialized, unterminated, and Ready.
-func (s *Sim[M]) deliverableInto(dst []int) []int {
-	for c, q := range s.queues {
-		if len(q) == 0 {
+// deliverableRescan appends the ids of channels with a queued message
+// whose receiving machine is initialized, unterminated, and Ready, by
+// scanning every channel. It is the naive O(n) reference the incremental
+// set is verified against.
+func (s *Sim[M]) deliverableRescan(dst []int) []int {
+	for c := range s.queues {
+		if s.queues[c].n == 0 {
 			continue
 		}
 		k := ChanNode(c)
@@ -321,9 +527,14 @@ func (s *Sim[M]) deliverableInto(dst []int) []int {
 }
 
 // Deliverable returns the ids of channels the scheduler may deliver from
-// right now. The returned slice is valid until the next simulator step.
+// right now, in ascending channel-id order. The returned slice is valid
+// until the next simulator step.
 func (s *Sim[M]) Deliverable() []int {
-	s.scratch = s.deliverableInto(s.scratch[:0])
+	if s.rescan {
+		s.scratch = s.deliverableRescan(s.scratch[:0])
+	} else {
+		s.scratch = s.deliv.appendInto(s.scratch[:0])
+	}
 	return s.scratch
 }
 
@@ -333,7 +544,7 @@ func (s *Sim[M]) Deliver(c int) error {
 	if s.failed != nil {
 		return s.failed
 	}
-	if c < 0 || c >= len(s.queues) || len(s.queues[c]) == 0 {
+	if c < 0 || c >= len(s.queues) || s.queues[c].n == 0 {
 		return fmt.Errorf("sim: deliver on empty or invalid channel %d", c)
 	}
 	k, p := ChanNode(c), ChanPort(c)
@@ -345,17 +556,19 @@ func (s *Sim[M]) Deliver(c int) error {
 	case !s.machines[k].Ready(p):
 		return fmt.Errorf("sim: deliver on non-ready port %s of node %d", p, k)
 	}
-	head := s.queues[c][0]
-	s.queues[c] = s.queues[c][1:]
+	head := s.queues[c].pop()
 	s.delivered++
 	s.step++
-	ev := Event{Kind: EvDeliver, Step: s.step, Node: k, Port: p, Dir: s.chanDir[c]}
+	var ev *Event
+	if len(s.obs) > 0 {
+		ev = &Event{Kind: EvDeliver, Step: s.step, Node: k, Port: p, Dir: s.chanDir[c]}
+	}
 	s.em.from = k
 	s.machines[k].OnMsg(p, head.msg, &s.em)
-	if err := s.flushSends(k, &ev); err != nil {
+	if err := s.flushSends(k, ev); err != nil {
 		return s.fail(err)
 	}
-	if err := s.afterHandler(k, &ev); err != nil {
+	if err := s.afterHandler(k, ev); err != nil {
 		return s.fail(err)
 	}
 	return nil
@@ -385,10 +598,10 @@ func (s *Sim[M]) Topology() ring.Topology { return s.topo }
 func (s *Sim[M]) Step() uint64 { return s.step }
 
 // QueueLen returns the number of messages queued on channel c.
-func (s *Sim[M]) QueueLen(c int) int { return len(s.queues[c]) }
+func (s *Sim[M]) QueueLen(c int) int { return s.queues[c].n }
 
 // headSeq returns the send sequence number of channel c's oldest message.
-func (s *Sim[M]) headSeq(c int) uint64 { return s.queues[c][0].seq }
+func (s *Sim[M]) headSeq(c int) uint64 { return s.queues[c].front().seq }
 
 // Run initializes every node (in index order, which is itself just one
 // admissible schedule; use InitNode for adversarial wake-ups) and delivers
@@ -418,8 +631,13 @@ func (s *Sim[M]) RunDeliveries(limit uint64) (Result, error) {
 		if s.step >= limit {
 			return s.Result(), s.fail(fmt.Errorf("%w (%d)", ErrStepLimit, limit))
 		}
-		ds := s.Deliverable()
-		if len(ds) == 0 {
+		// The incremental count answers "anything deliverable?" in O(1);
+		// the rescan reference recomputes it, staying a true oracle.
+		none := s.delivCount == 0
+		if s.rescan {
+			none = len(s.Deliverable()) == 0
+		}
+		if none {
 			if s.InFlight() == 0 {
 				return s.Result(), nil
 			}

@@ -58,6 +58,26 @@ func (s *SplitMix) Clone() *SplitMix {
 // State returns the generator's full internal state (for state keys).
 func (s *SplitMix) State() uint64 { return s.state }
 
+// Split derives a stream seed from a root seed and a coordinate vector
+// (experiment tag, sweep indices, trial index, ...). Each coordinate is
+// absorbed through a full SplitMix64 finalization round, so seeds for
+// different coordinates are statistically independent no matter how
+// regular the coordinates are. Split is pure: parallel sweeps that seed
+// trial i from Split(seed, ..., i) produce the same per-trial streams —
+// and therefore byte-identical reduced output — regardless of how many
+// workers run the trials or how they interleave.
+func Split(seed int64, dims ...uint64) int64 {
+	x := uint64(seed)
+	for _, d := range dims {
+		x += 0x9e3779b97f4a7c15
+		x ^= d
+		x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+		x = (x ^ x>>27) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return int64(x)
+}
+
 // Geometric returns the number of successive trials with probability p
 // that succeed before the first failure: Pr[G >= k] = p^k. It is the
 // BitCount distribution of the paper's Algorithm 4.
