@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -69,6 +69,19 @@ bench:
 	$(GO) run ./cmd/benchjson -in .bench-out.txt -out BENCH_sim.json \
 		-label "$(BENCH_LABEL)" -note "$(BENCH_NOTE)"
 	@rm -f .bench-out.txt
+
+# modelcheck-smoke proves the parallel explorer's determinism contract on
+# a real instance: the -json reports of a sequential and a 4-worker run
+# must be byte-for-byte identical (counters, verdict, witness — nothing
+# may depend on worker count). An audited run certifies the fingerprint
+# memo collision-free on the same instance.
+modelcheck-smoke:
+	$(GO) run ./cmd/modelcheck -algo alg2 -ids 5,1,4,2 -json -workers 1 > .modelcheck-w1.json
+	$(GO) run ./cmd/modelcheck -algo alg2 -ids 5,1,4,2 -json -workers 4 > .modelcheck-w4.json
+	cmp .modelcheck-w1.json .modelcheck-w4.json
+	$(GO) run ./cmd/modelcheck -algo alg2 -ids 5,1,4,2 -audit-collisions >/dev/null
+	@echo "modelcheck reports identical at workers=1 and workers=4; audit clean"
+	@rm -f .modelcheck-w1.json .modelcheck-w4.json
 
 # fuzz-smoke gives every fuzz target a short budget; used by CI.
 fuzz-smoke:

@@ -9,6 +9,11 @@
 //
 //	benchjson -out BENCH_sim.json -compare pre,post -metric ns/op
 //
+// Gate a run against a baseline (exit 1 if ns/op or allocs/op regressed
+// by more than the threshold percentage on any benchmark):
+//
+//	benchjson -out BENCH_sim.json -compare post,ci -threshold 300
+//
 // The file schema is internal/benchjson.File; EXPERIMENTS.md documents it.
 package main
 
@@ -31,17 +36,21 @@ func main() {
 	note := flag.String("note", "", "free-form note stored with the run (benchtime, commit, ...)")
 	compare := flag.String("compare", "", "compare two labels ('old,new') instead of recording")
 	metric := flag.String("metric", "ns/op", "metric for -compare")
+	threshold := flag.Float64("threshold", 0, "with -compare: fail if ns/op or allocs/op grew by more than this percentage")
 	flag.Parse()
 
-	if err := run(*in, *out, *label, *note, *compare, *metric); err != nil {
+	if err := run(*in, *out, *label, *note, *compare, *metric, *threshold); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, label, note, compare, metric string) error {
+func run(in, out, label, note, compare, metric string, threshold float64) error {
 	if compare != "" {
-		return runCompare(out, compare, metric)
+		return runCompare(out, compare, metric, threshold)
+	}
+	if threshold != 0 {
+		return errors.New("-threshold only applies with -compare")
 	}
 	if label == "" {
 		return errors.New("-label is required when recording")
@@ -81,10 +90,13 @@ func run(in, out, label, note, compare, metric string) error {
 	return nil
 }
 
-func runCompare(out, compare, metric string) error {
+func runCompare(out, compare, metric string, threshold float64) error {
 	labels := strings.SplitN(compare, ",", 2)
 	if len(labels) != 2 || labels[0] == "" || labels[1] == "" {
 		return fmt.Errorf("-compare wants 'old,new', got %q", compare)
+	}
+	if threshold < 0 {
+		return fmt.Errorf("-threshold must be non-negative, got %g", threshold)
 	}
 	file, err := readFile(out)
 	if err != nil {
@@ -100,6 +112,16 @@ func runCompare(out, compare, metric string) error {
 	}
 	for _, line := range benchjson.Speedup(old, cur, metric) {
 		fmt.Println(line)
+	}
+	if threshold > 0 {
+		bad := benchjson.Regressions(old, cur, threshold, []string{"ns/op", "allocs/op"})
+		if len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "REGRESSION", line)
+			}
+			return fmt.Errorf("%d regression(s) beyond %g%% against %q", len(bad), threshold, labels[0])
+		}
+		fmt.Printf("no regressions beyond %g%% against %q\n", threshold, labels[0])
 	}
 	return nil
 }

@@ -10,9 +10,19 @@
 //	modelcheck -algo alg1 -ids 2,2,1             # duplicate IDs (Lemma 16)
 //	modelcheck -algo alg2-unguarded -ids 1,3     # the ablation: finds the bug
 //	modelcheck -algo alg2 -ids 2,1 -explore-inits
+//	modelcheck -algo alg2 -ids 4,1,2 -workers 4  # parallel exploration
+//	modelcheck -algo alg2 -ids 3,1,2 -json       # machine-readable report
+//	modelcheck -algo alg2 -ids 3,1,2 -audit-collisions
+//
+// The report (counters, verdict, witness) is identical at every -workers
+// width and under every memo mode; -json output in particular is
+// byte-for-byte reproducible, which CI exploits by diffing a -workers=1
+// run against a -workers=4 run.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,13 +43,38 @@ func main() {
 	}
 }
 
+// jsonReport is the -json output. Deliberately excludes anything
+// execution-dependent (worker count, timing): the same instance must
+// produce the same bytes at any parallelism.
+type jsonReport struct {
+	Algo           string   `json:"algo"`
+	IDs            []uint64 `json:"ids"`
+	Flips          string   `json:"flips,omitempty"`
+	ExploreInits   bool     `json:"exploreInits"`
+	OK             bool     `json:"ok"`
+	StatesVisited  int      `json:"statesVisited"`
+	TerminalStates int      `json:"terminalStates"`
+	MaxDepth       int      `json:"maxDepth"`
+	Confluent      bool     `json:"confluent"`
+	Error          string   `json:"error,omitempty"`
+	Witness        []string `json:"witness,omitempty"`
+}
+
 func run() error {
 	algo := flag.String("algo", "alg2", "algorithm: alg1 | alg2 | alg3 | alg2-unguarded")
 	idsFlag := flag.String("ids", "", "comma-separated node IDs")
 	flipsFlag := flag.String("flips", "", "comma-separated 0/1 port flips (alg3)")
 	exploreInits := flag.Bool("explore-inits", false, "also branch over node wake-up interleavings")
-	maxStates := flag.Int("max-states", 1<<22, "state budget")
+	maxStates := flag.Int("max-states", 1<<22, "state budget (must be positive)")
+	workers := flag.Int("workers", 1, "parallel exploration workers")
+	fingerprintMemo := flag.Bool("fingerprint", true, "memoize 64-bit state fingerprints instead of full keys")
+	auditCollisions := flag.Bool("audit-collisions", false, "keep full keys alongside fingerprints and fail on any collision")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout")
 	flag.Parse()
+
+	if *maxStates <= 0 {
+		return fmt.Errorf("-max-states must be positive, got %d", *maxStates)
+	}
 
 	ids, err := parseIDs(*idsFlag)
 	if err != nil {
@@ -59,9 +94,23 @@ func run() error {
 		return err
 	}
 
+	memo := check.MemoFullKeys
+	if *fingerprintMemo {
+		memo = check.MemoFingerprint
+	}
+	if *auditCollisions {
+		memo = check.MemoAudit
+	}
+
 	n, idMax := len(ids), ring.MaxID(ids)
 	maxIdx, uniqueMax := ring.MaxIndex(ids)
-	cfg := check.Config{Topo: topo, ExploreInits: *exploreInits, MaxStates: *maxStates}
+	cfg := check.Config{
+		Topo:         topo,
+		ExploreInits: *exploreInits,
+		MaxStates:    *maxStates,
+		Workers:      *workers,
+		Memo:         memo,
+	}
 
 	switch *algo {
 	case "alg1":
@@ -126,6 +175,38 @@ func run() error {
 	}
 
 	rep, err := check.Exhaustive(cfg)
+
+	if *jsonOut {
+		out := jsonReport{
+			Algo:           *algo,
+			IDs:            ids,
+			Flips:          *flipsFlag,
+			ExploreInits:   *exploreInits,
+			OK:             err == nil,
+			StatesVisited:  rep.StatesVisited,
+			TerminalStates: rep.TerminalStates,
+			MaxDepth:       rep.MaxDepth,
+			Confluent:      err == nil && rep.TerminalStates == 1,
+		}
+		if err != nil {
+			out.Error = err.Error()
+			if steps, ok := check.Witness(err); ok {
+				for _, st := range steps {
+					out.Witness = append(out.Witness, st.String())
+				}
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(out); jerr != nil {
+			return jerr
+		}
+		if err != nil {
+			os.Exit(1)
+		}
+		return nil
+	}
+
 	if err == nil {
 		fmt.Printf("OK: every schedule verified.\n")
 		fmt.Printf("states explored:  %d\n", rep.StatesVisited)
@@ -135,6 +216,12 @@ func run() error {
 			fmt.Println("the instance is confluent: one terminal state across all schedules.")
 		}
 		return nil
+	}
+
+	if errors.Is(err, check.ErrStateBudget) {
+		fmt.Printf("state budget exhausted after %d states visited.\n", rep.StatesVisited)
+		fmt.Printf("the instance is larger than -max-states=%d allows; raise the flag to keep going.\n", *maxStates)
+		os.Exit(1)
 	}
 
 	fmt.Printf("VIOLATION: %v\n\n", err)

@@ -164,6 +164,42 @@ func (f *File) Encode(w io.Writer) error {
 	return err
 }
 
+// Regressions compares the given metrics between two runs, pairing
+// results by benchmark name as a multiset (the i-th occurrence of a name
+// in old pairs with the i-th in new, so sub-benchmarks that repeat a name
+// still line up), and returns one line per regression: a metric that grew
+// by more than pct percent. Benchmarks present in only one run are
+// skipped — a new or removed benchmark is not a regression.
+func Regressions(old, new Entry, pct float64, metrics []string) []string {
+	prev := map[string][]Result{}
+	for _, r := range old.Results {
+		prev[r.Name] = append(prev[r.Name], r)
+	}
+	seen := map[string]int{}
+	var lines []string
+	for _, r := range new.Results {
+		i := seen[r.Name]
+		seen[r.Name]++
+		rs := prev[r.Name]
+		if i >= len(rs) {
+			continue
+		}
+		o := rs[i]
+		for _, m := range metrics {
+			ov, nv := o.Metrics[m], r.Metrics[m]
+			if ov == 0 {
+				continue
+			}
+			if growth := (nv - ov) / ov * 100; growth > pct {
+				lines = append(lines, fmt.Sprintf("%s: %s %.4g -> %.4g (+%.1f%%, threshold %.4g%%)",
+					r.Name, m, ov, nv, growth, pct))
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
 // Speedup compares metric m between two runs, matching results by Name,
 // and returns "name: old/new = factor" lines sorted by name. Results
 // present in only one run are skipped.

@@ -119,3 +119,30 @@ func TestSpeedup(t *testing.T) {
 		t.Fatalf("speedup lines = %q", lines)
 	}
 }
+
+func TestRegressions(t *testing.T) {
+	old := Entry{Results: []Result{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 10}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 20}},
+	}}
+	cur := Entry{Results: []Result{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 115, "allocs/op": 30}}, // allocs 3x: regression
+		{Name: "B", Metrics: map[string]float64{"ns/op": 55}},                   // +10%: within threshold
+		{Name: "C", Metrics: map[string]float64{"ns/op": 1000}},                 // no baseline: skipped
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 11}},                 // pairs with first Dup
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 80}},                 // pairs with second: 4x
+	}}
+	lines := Regressions(old, cur, 50, []string{"ns/op", "allocs/op"})
+	if len(lines) != 2 {
+		t.Fatalf("regressions = %q, want 2", lines)
+	}
+	if !strings.Contains(lines[0], "A: allocs/op") || !strings.Contains(lines[1], "Dup: ns/op 20") {
+		t.Errorf("regressions = %q", lines)
+	}
+
+	if got := Regressions(old, cur, 1000, []string{"ns/op", "allocs/op"}); len(got) != 0 {
+		t.Errorf("huge threshold still flagged %q", got)
+	}
+}

@@ -10,6 +10,27 @@
 // (node.Cloneable.StateKey plus per-channel queue depths), which keeps the
 // exploration polynomial in ID_max for the paper's algorithms even though
 // the raw schedule tree is exponential.
+//
+// Three engine-level optimizations make larger instances tractable:
+//
+//   - Undo-based DFS (the default): instead of deep-copying the machine
+//     slice per branch, the explorer snapshots the one machine a step
+//     mutates (node.Undoable) into a shared arena, applies the step in
+//     place, and reverts on backtrack via an undo log of queue, init-bit,
+//     and sent-counter deltas. Machines that do not implement Undoable
+//     fall back to a per-step CloneMachine copy.
+//   - A fingerprint memo table (MemoFingerprint): 64-bit hashes of the
+//     binary state key in an open-addressing table replace the
+//     map[string]struct{} of full keys, eliminating the per-state string
+//     copy. MemoAudit certifies a run collision-free.
+//   - Parallel exploration (Config.Workers > 1): a work-sharing pool over
+//     subtree tasks with the visited set sharded behind per-shard locks.
+//     Because every path to a state has the same length (each step is one
+//     init or one delivery, both counted by the state itself), the report
+//     counters are functions of the reachable-state closure and therefore
+//     independent of exploration order; on any failure the engine reruns
+//     sequentially so the verdict and witness are the canonical DFS-order
+//     ones at every width.
 package check
 
 import (
@@ -22,7 +43,9 @@ import (
 )
 
 // Final summarizes a terminal (choice-free) state handed to the Check
-// callback.
+// callback. The Statuses and Leaders slices are reused across terminal
+// states by the exploring engine: a Check callback must not retain them
+// past the call.
 type Final struct {
 	// Statuses holds each node's final status.
 	Statuses []node.Status
@@ -36,13 +59,30 @@ type Final struct {
 	Quiescent bool
 }
 
+// Engine selects the state-restoration strategy of the explorer.
+type Engine uint8
+
+// Exploration engines.
+const (
+	// EngineUndo (the default) applies steps in place and reverts them
+	// from an undo log when backtracking.
+	EngineUndo Engine = iota
+
+	// EngineClone deep-copies the full machine slice per branch: the
+	// reference implementation, kept for differential testing and as the
+	// benchmark baseline. Sequential only (Workers must be 1).
+	EngineClone
+)
+
 // Config describes one exhaustive exploration.
 type Config struct {
 	// Topo is the (small) ring to explore.
 	Topo ring.Topology
 
 	// NewMachines returns fresh machines for the exploration's root state.
-	// Every machine must implement node.Cloneable.
+	// Every machine must implement node.Cloneable; machines that also
+	// implement node.Undoable restore through compact snapshots instead of
+	// per-branch deep copies.
 	NewMachines func() ([]node.PulseMachine, error)
 
 	// ExploreInits also branches over node wake-up interleavings. When
@@ -55,8 +95,23 @@ type Config struct {
 	MaxStates int
 
 	// Check is invoked at every distinct terminal state; returning an
-	// error aborts the exploration with a witness schedule attached.
+	// error aborts the exploration with a witness schedule attached. When
+	// Workers > 1 the callback is invoked concurrently from multiple
+	// exploration goroutines and must be safe for concurrent use.
 	Check func(Final) error
+
+	// Workers is the number of parallel exploration workers; values <= 1
+	// select the sequential explorer. Report counts, terminal verdicts,
+	// and the first witness are identical at any width.
+	Workers int
+
+	// Memo selects the visited-set representation; the zero value is
+	// MemoFingerprint.
+	Memo MemoMode
+
+	// Engine selects the state-restoration strategy; the zero value is
+	// EngineUndo.
+	Engine Engine
 }
 
 // Report summarizes a completed exploration.
@@ -80,24 +135,18 @@ var (
 
 	// ErrViolation: a machine fault or quiescent-termination violation.
 	ErrViolation = errors.New("check: protocol violation")
+
+	// ErrFingerprintCollision: MemoAudit found two distinct states with
+	// the same 64-bit fingerprint (a MemoFingerprint run would have
+	// silently merged them).
+	ErrFingerprintCollision = errors.New("check: state-key fingerprint collision")
 )
 
-type explorer struct {
-	cfg     Config
-	n       int
-	visited map[string]struct{}
-	rep     Report
-	steps   []Step // schedule from the root to the current state
-	keyBuf  []byte // reusable buffer for state-key encoding
-}
-
-// key encodes st as a compact binary string into the reusable buffer:
-// per-machine fixed-width binary keys (node.KeyAppender when implemented,
+// appendStateKey encodes st as a compact binary string into b: per-machine
+// fixed-width binary keys (node.KeyAppender when implemented,
 // length-prefixed StateKey text otherwise), fixed-width queue depths, and
-// packed init bits. The buffer is only valid until the next call; the
-// memo map copies it on insertion.
-func (ex *explorer) key(st *state) []byte {
-	b := ex.keyBuf[:0]
+// packed init bits.
+func appendStateKey(b []byte, st *state) []byte {
 	for _, m := range st.ms {
 		if ka, ok := m.(node.KeyAppender); ok {
 			b = ka.AppendStateKey(b)
@@ -123,7 +172,6 @@ func (ex *explorer) key(st *state) []byte {
 	if len(st.inited)&7 != 0 {
 		b = append(b, w)
 	}
-	ex.keyBuf = b
 	return b
 }
 
@@ -136,41 +184,91 @@ func Exhaustive(cfg Config) (Report, error) {
 	if cfg.NewMachines == nil {
 		return Report{}, errors.New("check: nil NewMachines")
 	}
+	if cfg.MaxStates < 0 {
+		return Report{}, fmt.Errorf("check: negative MaxStates %d", cfg.MaxStates)
+	}
 	if cfg.MaxStates == 0 {
 		cfg.MaxStates = 1 << 22
 	}
-	ex := &explorer{cfg: cfg, n: cfg.Topo.N(), visited: make(map[string]struct{})}
+	if cfg.Engine > EngineClone {
+		return Report{}, fmt.Errorf("check: unknown engine %d", cfg.Engine)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > 1 {
+		if cfg.Engine == EngineClone {
+			return Report{}, errors.New("check: the clone engine is sequential-only (set Workers to 1)")
+		}
+		return runParallel(cfg)
+	}
+	return runSequential(cfg)
+}
 
-	ms, err := cfg.NewMachines()
+// runSequential builds the root state and runs the selected single-core
+// engine over it.
+func runSequential(cfg Config) (Report, error) {
+	root, prefix, err := buildRoot(cfg)
 	if err != nil {
 		return Report{}, err
 	}
-	if len(ms) != ex.n {
-		return Report{}, fmt.Errorf("check: %d machines for %d nodes", len(ms), ex.n)
+	memo, err := newMemo(cfg.Memo)
+	if err != nil {
+		return Report{}, err
+	}
+	if cfg.Engine == EngineClone {
+		ex := &cloneExplorer{cfg: cfg, memo: memo, steps: prefix}
+		err := ex.dfs(root, 0)
+		return ex.rep, err
+	}
+	ex := &undoExplorer{cfg: cfg, memo: memo, steps: prefix}
+	ex.stepper = stepper{topo: cfg.Topo, n: cfg.Topo.N(), st: root}
+	err = ex.dfs(0)
+	return ex.rep, err
+}
+
+// buildRoot constructs and validates the root state. When ExploreInits is
+// false it also applies the implicit upfront init prefix, returning the
+// steps taken so every witness stays self-contained.
+func buildRoot(cfg Config) (*state, []Step, error) {
+	n := cfg.Topo.N()
+	ms, err := cfg.NewMachines()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ms) != n {
+		return nil, nil, fmt.Errorf("check: %d machines for %d nodes", len(ms), n)
 	}
 	st := &state{
-		ms:     make([]node.Cloneable[pulse.Pulse], ex.n),
-		queues: make([]uint32, 2*ex.n),
-		inited: make([]bool, ex.n),
+		ms:     make([]node.Cloneable[pulse.Pulse], n),
+		queues: make([]uint32, 2*n),
+		inited: make([]bool, n),
 	}
 	for k, m := range ms {
 		c, ok := m.(node.Cloneable[pulse.Pulse])
 		if !ok {
-			return Report{}, fmt.Errorf("check: machine %d does not implement node.Cloneable", k)
+			return nil, nil, fmt.Errorf("check: machine %d does not implement node.Cloneable", k)
 		}
 		st.ms[k] = c
 	}
+	var steps []Step
 	if !cfg.ExploreInits {
-		// Record the implicit init prefix so witnesses are self-contained.
-		for k := 0; k < ex.n; k++ {
-			ex.steps = append(ex.steps, Step{Init: k, Chan: -1})
-			if err := st.initNode(ex.cfg.Topo, k); err != nil {
-				return ex.rep, ex.wrap(err)
+		for k := 0; k < n; k++ {
+			steps = append(steps, Step{Init: k, Chan: -1})
+			if err := st.initNode(cfg.Topo, k); err != nil {
+				return nil, nil, wrapWitness(err, steps)
 			}
 		}
 	}
-	err = ex.dfs(st, 0)
-	return ex.rep, err
+	return st, steps, nil
+}
+
+// wrapWitness attaches a copy of the schedule so far to an error.
+func wrapWitness(err error, steps []Step) error {
+	if err == nil {
+		return nil
+	}
+	return &WitnessError{Reason: err, Steps: append([]Step(nil), steps...)}
 }
 
 // state is one global configuration: machine states plus per-channel queue
@@ -195,12 +293,15 @@ func (st *state) clone() *state {
 	return cp
 }
 
-// collector implements node.Emitter against the state's queues.
+// collector implements node.Emitter against the state's queues. When log
+// is set, every incremented channel id is recorded there so the undo
+// engine can revert the sends of one handler invocation.
 type collector struct {
 	topo ring.Topology
 	st   *state
 	from int
 	err  error
+	log  *[]int32
 }
 
 func (c *collector) Send(p pulse.Port, _ pulse.Pulse) {
@@ -209,8 +310,12 @@ func (c *collector) Send(p pulse.Port, _ pulse.Pulse) {
 		c.err = fmt.Errorf("%w: node %d sent toward terminated node %d", ErrViolation, c.from, to.Node)
 		return
 	}
-	c.st.queues[2*to.Node+int(to.Port)]++
+	ch := 2*to.Node + int(to.Port)
+	c.st.queues[ch]++
 	c.st.sent++
+	if c.log != nil {
+		*c.log = append(*c.log, int32(ch))
+	}
 }
 
 func (st *state) initNode(topo ring.Topology, k int) error {
@@ -234,6 +339,16 @@ func (st *state) deliver(topo ring.Topology, c int) error {
 	return st.afterHandler(k)
 }
 
+// apply executes one step through the allocating (non-undo) path: the
+// clone engine's branches and the parallel explorer's spawned subtree
+// roots, both of which own a private copy of the state.
+func (st *state) apply(topo ring.Topology, s Step) error {
+	if s.Init >= 0 {
+		return st.initNode(topo, s.Init)
+	}
+	return st.deliver(topo, s.Chan)
+}
+
 func (st *state) afterHandler(k int) error {
 	s := st.ms[k].Status()
 	if s.Err != nil {
@@ -245,7 +360,9 @@ func (st *state) afterHandler(k int) error {
 	return nil
 }
 
-// choices enumerates the schedulable events of st.
+// choices enumerates the schedulable events of st: inits in ascending
+// node order, then deliveries in ascending channel order — the canonical
+// schedule order that witnesses and "first error" are defined against.
 func (st *state) choices() (inits []int, delivers []int) {
 	for k, in := range st.inited {
 		if !in {
@@ -269,26 +386,35 @@ func (st *state) choices() (inits []int, delivers []int) {
 	return inits, delivers
 }
 
-func (ex *explorer) wrap(err error) error {
-	if err == nil {
-		return nil
-	}
-	return &WitnessError{Reason: err, Steps: append([]Step(nil), ex.steps...)}
+// cloneExplorer is the reference engine: the pre-undo implementation that
+// deep-copies the machine slice per branch and allocates its choice lists
+// and collectors per state. The undo engine is proven against it by the
+// clone-vs-undo differential test; the Exhaustive benchmarks keep it as
+// the comparison baseline.
+type cloneExplorer struct {
+	cfg    Config
+	memo   memoTable
+	rep    Report
+	steps  []Step // schedule from the root to the current state
+	keyBuf []byte // reusable buffer for state-key encoding
 }
 
-func (ex *explorer) dfs(st *state, depth int) error {
+func (ex *cloneExplorer) dfs(st *state, depth int) error {
+	ex.keyBuf = appendStateKey(ex.keyBuf[:0], st)
+	added, merr := ex.memo.insert(fingerprint(ex.keyBuf), ex.keyBuf)
+	if merr != nil {
+		return wrapWitness(merr, ex.steps)
+	}
+	if !added {
+		return nil
+	}
+	if ex.rep.StatesVisited >= ex.cfg.MaxStates {
+		return wrapWitness(fmt.Errorf("%w (%d)", ErrStateBudget, ex.cfg.MaxStates), ex.steps)
+	}
+	ex.rep.StatesVisited++
 	if depth > ex.rep.MaxDepth {
 		ex.rep.MaxDepth = depth
 	}
-	key := ex.key(st)
-	if _, seen := ex.visited[string(key)]; seen {
-		return nil
-	}
-	if len(ex.visited) >= ex.cfg.MaxStates {
-		return ex.wrap(fmt.Errorf("%w (%d)", ErrStateBudget, ex.cfg.MaxStates))
-	}
-	ex.visited[string(key)] = struct{}{}
-	ex.rep.StatesVisited++
 
 	inits, delivers := st.choices()
 	if len(inits) == 0 && len(delivers) == 0 {
@@ -298,7 +424,7 @@ func (ex *explorer) dfs(st *state, depth int) error {
 			queued += q
 		}
 		if queued > 0 {
-			return ex.wrap(fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued))
+			return wrapWitness(fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued), ex.steps)
 		}
 		if ex.cfg.Check != nil {
 			f := Final{Sent: st.sent, Quiescent: true}
@@ -310,7 +436,7 @@ func (ex *explorer) dfs(st *state, depth int) error {
 				}
 			}
 			if err := ex.cfg.Check(f); err != nil {
-				return ex.wrap(fmt.Errorf("%w: %v", ErrViolation, err))
+				return wrapWitness(fmt.Errorf("%w: %v", ErrViolation, err), ex.steps)
 			}
 		}
 		return nil
@@ -323,7 +449,7 @@ func (ex *explorer) dfs(st *state, depth int) error {
 		if err == nil {
 			err = ex.dfs(next, depth+1)
 		} else {
-			err = ex.wrap(err)
+			err = wrapWitness(err, ex.steps)
 		}
 		ex.steps = ex.steps[:len(ex.steps)-1]
 		if err != nil {
@@ -337,7 +463,7 @@ func (ex *explorer) dfs(st *state, depth int) error {
 		if err == nil {
 			err = ex.dfs(next, depth+1)
 		} else {
-			err = ex.wrap(err)
+			err = wrapWitness(err, ex.steps)
 		}
 		ex.steps = ex.steps[:len(ex.steps)-1]
 		if err != nil {

@@ -1,0 +1,216 @@
+package check
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel explorer shares subtrees across workers: a worker running
+// depth-first over its own mutable state (a stepper) peels off branches as
+// cloned subtree-root tasks whenever the shared queue runs low, and
+// otherwise recurses in place with undo. The visited set is the sharded
+// memo table.
+//
+// Determinism contract. On success the Report is exact, not approximate:
+// every path from the root to a state S has the same length (each step
+// either sets one init bit or moves one pulse, and S fixes its init bits,
+// queue depths, and sent counter), so StatesVisited, TerminalStates, and
+// MaxDepth are functions of the reachable-state closure — which is the
+// same set regardless of exploration order. On ANY failure (violation,
+// stall, budget, audit collision) the counters and the failing schedule
+// DO depend on order, so runParallel discards the partial run and reruns
+// the sequential undo engine, which yields the canonical first witness
+// and the same Report the sequential explorer would produce. Errors are
+// the rare, terminal case; the common (passing) case keeps full speedup.
+
+// parTask is a subtree root: a privately owned state plus its depth.
+type parTask struct {
+	st    *state
+	depth int
+}
+
+type parExplorer struct {
+	cfg  Config
+	memo *shardedMemo
+
+	states    atomic.Int64
+	terminals atomic.Int64
+	maxDepth  atomic.Int64
+	failed    atomic.Bool
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []parTask // LIFO: deep tasks first keeps the frontier small
+	outstanding int       // queued + in-flight tasks
+	done        bool
+	queueLen    atomic.Int32 // mirror of len(queue) for the lock-free spawn check
+}
+
+// runParallel explores with cfg.Workers goroutines. See the determinism
+// contract above for why it may fall back to runSequential.
+func runParallel(cfg Config) (Report, error) {
+	root, _, err := buildRoot(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	memo, err := newShardedMemo(cfg.Memo)
+	if err != nil {
+		return Report{}, err
+	}
+	p := &parExplorer{cfg: cfg, memo: memo}
+	p.cond = sync.NewCond(&p.mu)
+	p.push(parTask{st: root, depth: 0})
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.work()
+		}()
+	}
+	wg.Wait()
+
+	if p.failed.Load() {
+		return runSequential(cfg)
+	}
+	return Report{
+		StatesVisited:  int(p.states.Load()),
+		TerminalStates: int(p.terminals.Load()),
+		MaxDepth:       int(p.maxDepth.Load()),
+	}, nil
+}
+
+func (p *parExplorer) work() {
+	sp := &stepper{topo: p.cfg.Topo, n: p.cfg.Topo.N()}
+	for {
+		t, ok := p.pop()
+		if !ok {
+			return
+		}
+		sp.reset(t.st)
+		p.dfs(sp, t.depth)
+		p.taskDone()
+	}
+}
+
+// dfs is the worker-local exploration of one subtree. Bookkeeping mirrors
+// undoExplorer.dfs with atomics; witnesses are not tracked (the sequential
+// rerun reconstructs them).
+func (p *parExplorer) dfs(sp *stepper, depth int) {
+	if p.failed.Load() {
+		return
+	}
+	key := sp.key()
+	added, err := p.memo.insert(fingerprint(key), key)
+	if err != nil {
+		p.fail()
+		return
+	}
+	if !added {
+		return
+	}
+	if p.states.Add(1) > int64(p.cfg.MaxStates) {
+		p.fail()
+		return
+	}
+	for {
+		d := p.maxDepth.Load()
+		if int64(depth) <= d || p.maxDepth.CompareAndSwap(d, int64(depth)) {
+			break
+		}
+	}
+
+	base, end := sp.pushChoices()
+	if base == end {
+		p.terminals.Add(1)
+		if err := sp.terminalVerdict(p.cfg.Check); err != nil {
+			p.fail()
+		}
+		return
+	}
+	for i := base; i < end; i++ {
+		step := sp.stepAt(i)
+		if p.starving() {
+			// Peel this branch off as a shareable task instead of
+			// recursing: clone the state and apply the step on the copy.
+			succ := sp.st.clone()
+			if err := succ.apply(p.cfg.Topo, step); err != nil {
+				p.fail()
+				return
+			}
+			p.push(parTask{st: succ, depth: depth + 1})
+			continue
+		}
+		fr, err := sp.apply(step)
+		if err != nil {
+			p.fail()
+			return
+		}
+		p.dfs(sp, depth+1)
+		if p.failed.Load() {
+			return // state and arenas are stale; the run is abandoned
+		}
+		sp.revert(fr)
+	}
+	sp.popChoices(base)
+}
+
+// starving reports whether the shared queue is low enough that branches
+// should be shared rather than recursed in place.
+func (p *parExplorer) starving() bool {
+	return int(p.queueLen.Load()) < 2*p.cfg.Workers
+}
+
+func (p *parExplorer) push(t parTask) {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, t)
+	p.outstanding++
+	p.queueLen.Store(int32(len(p.queue)))
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+func (p *parExplorer) pop() (parTask, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.done {
+			return parTask{}, false
+		}
+		if n := len(p.queue); n > 0 {
+			t := p.queue[n-1]
+			p.queue[n-1] = parTask{}
+			p.queue = p.queue[:n-1]
+			p.queueLen.Store(int32(n - 1))
+			return t, true
+		}
+		p.cond.Wait()
+	}
+}
+
+// taskDone retires one task; when none are queued or in flight the
+// exploration is complete and all workers are released.
+func (p *parExplorer) taskDone() {
+	p.mu.Lock()
+	p.outstanding--
+	if p.outstanding == 0 {
+		p.done = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// fail records a failure and releases all workers; the caller falls back
+// to the sequential engine for the canonical verdict.
+func (p *parExplorer) fail() {
+	p.failed.Store(true)
+	p.mu.Lock()
+	p.done = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

@@ -1,0 +1,321 @@
+package check_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"coleader/internal/check"
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// diffCase is one exploration config the engine-equivalence tests run
+// under every engine/memo/worker combination. Error cases included: the
+// engines must agree on the failing schedule too.
+type diffCase struct {
+	name string
+	cfg  check.Config
+}
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	budget := alg2Config(t, []uint64{1, 2, 3}, false)
+	budget.MaxStates = 5
+	return []diffCase{
+		{"alg2-312", alg2Config(t, []uint64{3, 1, 2}, false)},
+		{"alg2-231-inits", alg2Config(t, []uint64{2, 3, 1}, true)},
+		{"alg1-221", alg1Diff(t, []uint64{2, 2, 1})},
+		{"alg3-21", alg3Diff(t, []uint64{2, 1})},
+		{"unguarded-13", unguardedConfig(t, []uint64{1, 3})},
+		{"unguarded-132", unguardedConfig(t, []uint64{1, 3, 2})},
+		{"budget", budget},
+	}
+}
+
+func alg1Diff(t *testing.T, ids []uint64) check.Config {
+	t.Helper()
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return check.Config{
+		Topo:        topo,
+		NewMachines: func() ([]node.PulseMachine, error) { return core.Alg1Machines(topo, ids) },
+	}
+}
+
+func alg3Diff(t *testing.T, ids []uint64) check.Config {
+	t.Helper()
+	topo, err := ring.NonOriented([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return check.Config{
+		Topo: topo,
+		NewMachines: func() ([]node.PulseMachine, error) {
+			return core.Alg3Machines(len(ids), ids, core.SchemeDoubled)
+		},
+	}
+}
+
+// outcome flattens an exploration's result for equality comparison:
+// report counters, error string, and the full witness schedule.
+func outcome(rep check.Report, err error) string {
+	s := fmt.Sprintf("rep=%+v", rep)
+	if err != nil {
+		s += " err=" + err.Error()
+		if steps, ok := check.Witness(err); ok {
+			s += fmt.Sprintf(" witness=%v", steps)
+		}
+	}
+	return s
+}
+
+// TestUndoMatchesClone: the undo engine must be indistinguishable from the
+// clone (reference) engine — same states, terminals, depth, verdict, and
+// witness — on passing and failing explorations alike.
+func TestUndoMatchesClone(t *testing.T) {
+	for _, c := range diffCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			ref := c.cfg
+			ref.Engine = check.EngineClone
+			ref.Memo = check.MemoFullKeys
+			refRep, refErr := check.Exhaustive(ref)
+
+			undo := c.cfg
+			undo.Engine = check.EngineUndo
+			undo.Memo = check.MemoFullKeys
+			undoRep, undoErr := check.Exhaustive(undo)
+
+			if got, want := outcome(undoRep, undoErr), outcome(refRep, refErr); got != want {
+				t.Errorf("undo engine diverged from clone engine:\n undo:  %s\n clone: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestFingerprintMatchesFullKeys: the fingerprint memo must not change any
+// exploration outcome (no collisions on these instances — certified by the
+// audit mode pass).
+func TestFingerprintMatchesFullKeys(t *testing.T) {
+	for _, c := range diffCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			exact := c.cfg
+			exact.Memo = check.MemoFullKeys
+			exactRep, exactErr := check.Exhaustive(exact)
+
+			for _, memo := range []check.MemoMode{check.MemoFingerprint, check.MemoAudit} {
+				fp := c.cfg
+				fp.Memo = memo
+				fpRep, fpErr := check.Exhaustive(fp)
+				if got, want := outcome(fpRep, fpErr), outcome(exactRep, exactErr); got != want {
+					t.Errorf("%v memo diverged from full keys:\n %v:   %s\n exact: %s", memo, memo, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequential: at every worker width the parallel
+// explorer must return the identical Report, and on failures the identical
+// error and first witness (via the sequential-rerun contract).
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, c := range diffCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seq := c.cfg
+			seq.Workers = 1
+			seqRep, seqErr := check.Exhaustive(seq)
+			want := outcome(seqRep, seqErr)
+
+			for _, w := range []int{2, 4, 8} {
+				par := c.cfg
+				par.Workers = w
+				parRep, parErr := check.Exhaustive(par)
+				if got := outcome(parRep, parErr); got != want {
+					t.Errorf("workers=%d diverged from sequential:\n par: %s\n seq: %s", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLargerInstance runs a bigger ring at several widths: the
+// counters still agree exactly with the sequential run.
+func TestParallelLargerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := alg2Config(t, []uint64{5, 1, 4, 2}, false)
+	seqRep, err := check.Exhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		par := cfg
+		par.Workers = w
+		parRep, err := check.Exhaustive(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parRep != seqRep {
+			t.Errorf("workers=%d report %+v, sequential %+v", w, parRep, seqRep)
+		}
+	}
+	t.Logf("4-node alg2: %d states, depth %d", seqRep.StatesVisited, seqRep.MaxDepth)
+}
+
+// deafMachine sends one pulse at init but never accepts delivery: every
+// schedule stalls with pulses queued toward a never-ready port. It is
+// deliberately NOT node.Undoable, so the undo engine's clone-fallback
+// path does the stepping.
+type deafMachine struct{ sent bool }
+
+func (d *deafMachine) Init(e node.PulseEmitter) {
+	d.sent = true
+	e.Send(pulse.Port1, pulse.Pulse{})
+}
+func (d *deafMachine) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {}
+func (d *deafMachine) Ready(pulse.Port) bool                            { return false }
+func (d *deafMachine) Status() node.Status                              { return node.Status{} }
+func (d *deafMachine) CloneMachine() node.PulseMachine {
+	cp := *d
+	return &cp
+}
+func (d *deafMachine) StateKey() string { return fmt.Sprintf("deaf|%t", d.sent) }
+
+func deafConfig(t *testing.T) check.Config {
+	t.Helper()
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return check.Config{
+		Topo:         topo,
+		ExploreInits: true, // init steps run through the explorer, not the root builder
+		NewMachines: func() ([]node.PulseMachine, error) {
+			return []node.PulseMachine{&deafMachine{}, &deafMachine{}}, nil
+		},
+	}
+}
+
+// TestStalledWitnessReplay: a stall is reported as ErrStalled with a
+// witness whose replay runs clean but ends non-quiescent — the stall is a
+// property of the terminal state, not a machine fault.
+func TestStalledWitnessReplay(t *testing.T) {
+	cfg := deafConfig(t)
+	_, err := check.Exhaustive(cfg)
+	if !errors.Is(err, check.ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	steps, ok := check.Witness(err)
+	if !ok || len(steps) == 0 {
+		t.Fatalf("no witness on %v", err)
+	}
+	res, replayErr := check.Replay(cfg, steps)
+	if replayErr != nil {
+		t.Fatalf("stall witness replay errored: %v", replayErr)
+	}
+	if res.Quiescent {
+		t.Error("stalled schedule replayed to a quiescent state")
+	}
+}
+
+// TestStateBudgetWitnessReplay: the budget error carries the schedule that
+// reached the budget-tripping state, and that schedule replays clean.
+func TestStateBudgetWitnessReplay(t *testing.T) {
+	cfg := alg2Config(t, []uint64{1, 2, 3}, false)
+	cfg.MaxStates = 3
+	_, err := check.Exhaustive(cfg)
+	if !errors.Is(err, check.ErrStateBudget) {
+		t.Fatalf("err = %v, want ErrStateBudget", err)
+	}
+	steps, ok := check.Witness(err)
+	if !ok {
+		t.Fatalf("no witness on %v", err)
+	}
+	if _, replayErr := check.Replay(cfg, steps); replayErr != nil {
+		t.Fatalf("budget witness replay errored: %v", replayErr)
+	}
+}
+
+// TestViolationWitnessReplay: the unguarded ablation's violation witness
+// reproduces the violation under replay (round-trip for ErrViolation).
+func TestViolationWitnessReplay(t *testing.T) {
+	cfg := unguardedConfig(t, []uint64{1, 3})
+	_, err := check.Exhaustive(cfg)
+	if !errors.Is(err, check.ErrViolation) {
+		t.Fatalf("err = %v, want ErrViolation", err)
+	}
+	steps, ok := check.Witness(err)
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if _, replayErr := check.Replay(cfg, steps); replayErr == nil {
+		t.Fatal("violation witness replayed clean")
+	}
+}
+
+// TestScalingValidation covers the new config-validation paths.
+func TestScalingValidation(t *testing.T) {
+	cfg := alg2Config(t, []uint64{1, 2}, false)
+
+	bad := cfg
+	bad.MaxStates = -1
+	if _, err := check.Exhaustive(bad); err == nil {
+		t.Error("negative MaxStates accepted")
+	}
+
+	bad = cfg
+	bad.Workers = 4
+	bad.Engine = check.EngineClone
+	if _, err := check.Exhaustive(bad); err == nil {
+		t.Error("parallel clone engine accepted")
+	}
+
+	bad = cfg
+	bad.Engine = check.Engine(99)
+	if _, err := check.Exhaustive(bad); err == nil {
+		t.Error("unknown engine accepted")
+	}
+
+	bad = cfg
+	bad.Memo = check.MemoMode(99)
+	if _, err := check.Exhaustive(bad); err == nil {
+		t.Error("unknown memo mode accepted")
+	}
+	bad.Workers = 2
+	if _, err := check.Exhaustive(bad); err == nil {
+		t.Error("unknown memo mode accepted (parallel)")
+	}
+}
+
+// TestUndoAllocations asserts the point of the overhaul: the undo engine
+// explores in a near-constant number of allocations (root construction
+// plus arena growth), at least 4x below the clone engine on the same
+// instance.
+func TestUndoAllocations(t *testing.T) {
+	run := func(engine check.Engine) float64 {
+		return testing.AllocsPerRun(10, func() {
+			cfg := alg2Config(t, []uint64{3, 1, 2}, false)
+			cfg.Engine = engine
+			if _, err := check.Exhaustive(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	undo := run(check.EngineUndo)
+	clone := run(check.EngineClone)
+	t.Logf("allocs/run: undo=%.0f clone=%.0f", undo, clone)
+	if undo > 64 {
+		t.Errorf("undo engine allocates %.0f times per exploration, want <= 64", undo)
+	}
+	if undo*4 > clone {
+		t.Errorf("undo engine (%.0f allocs) is not 4x below clone engine (%.0f allocs)", undo, clone)
+	}
+}

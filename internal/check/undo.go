@@ -1,0 +1,244 @@
+package check
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// stepper owns the apply/revert machinery over one mutable state. All
+// scratch storage — the key buffer, the machine-snapshot arena, the
+// send-undo log, and the choice arena — lives here and is reused with
+// stack discipline, so stepping allocates nothing once the arenas have
+// grown to the exploration's depth. Both the sequential undo engine and
+// each parallel worker embed one.
+type stepper struct {
+	topo ring.Topology
+	n    int
+	st   *state
+
+	keyBuf      []byte
+	snapArena   []byte  // machine snapshots, stacked per applied step
+	sendArena   []int32 // channel ids incremented, stacked per applied step
+	choiceArena []int32 // schedulable events, stacked per visited state
+	col         collector
+	statuses    []node.Status
+	leaders     []int
+}
+
+// undoFrame records what one apply changed, so revert can put it back.
+type undoFrame struct {
+	mach      int32
+	deliverCh int32 // -1 for an init step
+	snapOff   int32 // snapArena length before the step
+	sendOff   int32 // sendArena length before the step
+	// clone is the pre-step machine copy when the machine does not
+	// implement node.Undoable (the fallback path); nil otherwise.
+	clone node.Cloneable[pulse.Pulse]
+}
+
+// reset points the stepper at a new state and discards all stacked scratch
+// (capacity is kept).
+func (sp *stepper) reset(st *state) {
+	sp.st = st
+	sp.snapArena = sp.snapArena[:0]
+	sp.sendArena = sp.sendArena[:0]
+	sp.choiceArena = sp.choiceArena[:0]
+}
+
+// key encodes the current state into the reusable key buffer. The result
+// is valid until the next call.
+func (sp *stepper) key() []byte {
+	sp.keyBuf = appendStateKey(sp.keyBuf[:0], sp.st)
+	return sp.keyBuf
+}
+
+// apply executes one step in place, first snapshotting the one machine it
+// runs (node.Undoable) or deep-copying it (fallback), and logging every
+// channel the handler increments. The returned frame reverts the step.
+// On error the state is left as the handler left it — fine, because every
+// error aborts the exploration.
+func (sp *stepper) apply(s Step) (undoFrame, error) {
+	k := s.Init
+	ch := int32(-1)
+	if k < 0 {
+		k = s.Chan / 2
+		ch = int32(s.Chan)
+	}
+	fr := undoFrame{
+		mach:      int32(k),
+		deliverCh: ch,
+		snapOff:   int32(len(sp.snapArena)),
+		sendOff:   int32(len(sp.sendArena)),
+	}
+	m := sp.st.ms[k]
+	if u, ok := m.(node.Undoable); ok {
+		sp.snapArena = u.SnapshotTo(sp.snapArena)
+	} else {
+		fr.clone = m.CloneMachine().(node.Cloneable[pulse.Pulse])
+	}
+	sp.col = collector{topo: sp.topo, st: sp.st, from: k, log: &sp.sendArena}
+	if ch < 0 {
+		sp.st.inited[k] = true
+		m.Init(&sp.col)
+	} else {
+		sp.st.queues[ch]--
+		m.OnMsg(pulse.Port(int(ch)&1), pulse.Pulse{}, &sp.col)
+	}
+	if sp.col.err != nil {
+		return fr, sp.col.err
+	}
+	return fr, sp.st.afterHandler(k)
+}
+
+// revert undoes a successful apply: queue increments come back off the
+// send log, the consumed pulse (or init bit) is restored, and the machine
+// rewinds from its snapshot (or swaps back to the pre-step clone).
+func (sp *stepper) revert(fr undoFrame) {
+	for _, ch := range sp.sendArena[fr.sendOff:] {
+		sp.st.queues[ch]--
+		sp.st.sent--
+	}
+	sp.sendArena = sp.sendArena[:fr.sendOff]
+	k := int(fr.mach)
+	if fr.deliverCh >= 0 {
+		sp.st.queues[fr.deliverCh]++
+	} else {
+		sp.st.inited[k] = false
+	}
+	if fr.clone != nil {
+		sp.st.ms[k] = fr.clone
+	} else {
+		sp.st.ms[k].(node.Undoable).Restore(sp.snapArena[fr.snapOff:])
+		sp.snapArena = sp.snapArena[:fr.snapOff]
+	}
+}
+
+// pushChoices appends the schedulable events of the current state to the
+// choice arena — inits ascending, then deliveries in channel order, the
+// same canonical order as state.choices — and returns their [base, end)
+// range. Entries survive deeper recursion because descendants only append
+// past end and truncate back; callers restore with popChoices(base).
+func (sp *stepper) pushChoices() (base, end int) {
+	base = len(sp.choiceArena)
+	for k, in := range sp.st.inited {
+		if !in {
+			sp.choiceArena = append(sp.choiceArena, int32(k))
+		}
+	}
+	for c, q := range sp.st.queues {
+		if q == 0 {
+			continue
+		}
+		k := c / 2
+		if !sp.st.inited[k] {
+			continue
+		}
+		s := sp.st.ms[k].Status()
+		if s.Terminated || !sp.st.ms[k].Ready(pulse.Port(c%2)) {
+			continue
+		}
+		sp.choiceArena = append(sp.choiceArena, int32(sp.n+c))
+	}
+	return base, len(sp.choiceArena)
+}
+
+// stepAt decodes choice-arena entry i (init k -> k, deliver c -> n+c).
+func (sp *stepper) stepAt(i int) Step {
+	v := int(sp.choiceArena[i])
+	if v < sp.n {
+		return Step{Init: v, Chan: -1}
+	}
+	return Step{Init: -1, Chan: v - sp.n}
+}
+
+func (sp *stepper) popChoices(base int) { sp.choiceArena = sp.choiceArena[:base] }
+
+// terminalVerdict evaluates a choice-free state: ErrStalled if pulses
+// remain queued, otherwise the Check callback's verdict on the final
+// configuration. The Final slices are the stepper's reusable scratch.
+func (sp *stepper) terminalVerdict(check func(Final) error) error {
+	var queued uint32
+	for _, q := range sp.st.queues {
+		queued += q
+	}
+	if queued > 0 {
+		return fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued)
+	}
+	if check == nil {
+		return nil
+	}
+	f := Final{Sent: sp.st.sent, Quiescent: true}
+	sp.statuses = sp.statuses[:0]
+	sp.leaders = sp.leaders[:0]
+	for k, m := range sp.st.ms {
+		s := m.Status()
+		sp.statuses = append(sp.statuses, s)
+		if s.State == node.StateLeader {
+			sp.leaders = append(sp.leaders, k)
+		}
+	}
+	f.Statuses = sp.statuses
+	f.Leaders = sp.leaders
+	if err := check(f); err != nil {
+		return fmt.Errorf("%w: %v", ErrViolation, err)
+	}
+	return nil
+}
+
+// undoExplorer is the default sequential engine: depth-first over one
+// mutable state, backtracking through the stepper's undo frames instead of
+// cloning per branch.
+type undoExplorer struct {
+	stepper
+	cfg   Config
+	memo  memoTable
+	rep   Report
+	steps []Step // schedule from the root to the current state
+}
+
+func (ex *undoExplorer) dfs(depth int) error {
+	key := ex.key()
+	added, merr := ex.memo.insert(fingerprint(key), key)
+	if merr != nil {
+		return wrapWitness(merr, ex.steps)
+	}
+	if !added {
+		return nil
+	}
+	if ex.rep.StatesVisited >= ex.cfg.MaxStates {
+		return wrapWitness(fmt.Errorf("%w (%d)", ErrStateBudget, ex.cfg.MaxStates), ex.steps)
+	}
+	ex.rep.StatesVisited++
+	if depth > ex.rep.MaxDepth {
+		ex.rep.MaxDepth = depth
+	}
+
+	base, end := ex.pushChoices()
+	if base == end {
+		ex.rep.TerminalStates++
+		if err := ex.terminalVerdict(ex.cfg.Check); err != nil {
+			return wrapWitness(err, ex.steps)
+		}
+		return nil
+	}
+	for i := base; i < end; i++ {
+		step := ex.stepAt(i)
+		ex.steps = append(ex.steps, step)
+		fr, err := ex.apply(step)
+		if err == nil {
+			err = ex.dfs(depth + 1)
+		} else {
+			err = wrapWitness(err, ex.steps)
+		}
+		ex.steps = ex.steps[:len(ex.steps)-1]
+		if err != nil {
+			return err
+		}
+		ex.revert(fr)
+	}
+	ex.popChoices(base)
+	return nil
+}

@@ -101,3 +101,19 @@ func (a *Alg1) AppendStateKey(dst []byte) []byte {
 	dst = node.AppendKey64(dst, a.rhoCW)
 	return node.AppendKey64(dst, a.sigCW)
 }
+
+// SnapshotTo implements node.Undoable: the mutable fields only (id and
+// cwPort are construction-time constants).
+func (a *Alg1) SnapshotTo(buf []byte) []byte {
+	buf = node.AppendKey64(buf, a.rhoCW)
+	buf = node.AppendKey64(buf, a.sigCW)
+	return append(buf, byte(a.state))
+}
+
+// Restore implements node.Undoable.
+func (a *Alg1) Restore(snap []byte) {
+	a.rhoCW = node.Key64(snap)
+	a.sigCW = node.Key64(snap[8:])
+	a.state = node.State(snap[16])
+	a.err = nil
+}

@@ -181,3 +181,32 @@ func (a *Alg2) AppendStateKey(dst []byte) []byte {
 	dst = node.AppendKey64(dst, a.rhoCCW)
 	return node.AppendKey64(dst, a.sigCCW)
 }
+
+// SnapshotTo implements node.Undoable: the four counters plus a flags byte.
+func (a *Alg2) SnapshotTo(buf []byte) []byte {
+	flags := byte(a.state)
+	if a.termSent {
+		flags |= 1 << 4
+	}
+	if a.terminated {
+		flags |= 1 << 5
+	}
+	buf = node.AppendKey64(buf, a.rhoCW)
+	buf = node.AppendKey64(buf, a.sigCW)
+	buf = node.AppendKey64(buf, a.rhoCCW)
+	buf = node.AppendKey64(buf, a.sigCCW)
+	return append(buf, flags)
+}
+
+// Restore implements node.Undoable.
+func (a *Alg2) Restore(snap []byte) {
+	a.rhoCW = node.Key64(snap)
+	a.sigCW = node.Key64(snap[8:])
+	a.rhoCCW = node.Key64(snap[16:])
+	a.sigCCW = node.Key64(snap[24:])
+	flags := snap[32]
+	a.state = node.State(flags & 0xf)
+	a.termSent = flags&(1<<4) != 0
+	a.terminated = flags&(1<<5) != 0
+	a.err = nil
+}

@@ -187,6 +187,34 @@ func (a *Alg3) AppendStateKey(dst []byte) []byte {
 	return node.AppendKey64(dst, a.sig[1])
 }
 
+// SnapshotTo implements node.Undoable: the per-port counters and the
+// recomputed output block. The id/vid fields are constants for plain Alg3;
+// Alg3Resample (which mutates them) snapshots them itself.
+func (a *Alg3) SnapshotTo(buf []byte) []byte {
+	flags := byte(a.state)
+	if a.oriented {
+		flags |= 1 << 4
+	}
+	flags |= byte(a.cwPort) << 5
+	buf = node.AppendKey64(buf, a.rho[0])
+	buf = node.AppendKey64(buf, a.rho[1])
+	buf = node.AppendKey64(buf, a.sig[0])
+	buf = node.AppendKey64(buf, a.sig[1])
+	return append(buf, flags)
+}
+
+// Restore implements node.Undoable.
+func (a *Alg3) Restore(snap []byte) {
+	a.rho[0] = node.Key64(snap)
+	a.rho[1] = node.Key64(snap[8:])
+	a.sig[0] = node.Key64(snap[16:])
+	a.sig[1] = node.Key64(snap[24:])
+	flags := snap[32]
+	a.state = node.State(flags & 0xf)
+	a.oriented = flags&(1<<4) != 0
+	a.cwPort = pulse.Port(flags >> 5)
+}
+
 func max64(a, b uint64) uint64 {
 	if a > b {
 		return a

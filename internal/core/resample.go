@@ -99,3 +99,25 @@ func (a *Alg3Resample) AppendStateKey(dst []byte) []byte {
 	dst = node.AppendKey64(dst, a.rng.State())
 	return node.AppendKey64(dst, uint64(a.resamples))
 }
+
+// SnapshotTo implements node.Undoable. Unlike plain Alg3, the resampling
+// rule mutates the inner machine's id and virtual IDs, and the PRNG state
+// advances with every draw — all of it snapshots here.
+func (a *Alg3Resample) SnapshotTo(buf []byte) []byte {
+	buf = node.AppendKey64(buf, a.inner.id)
+	buf = node.AppendKey64(buf, a.inner.vid[0])
+	buf = node.AppendKey64(buf, a.inner.vid[1])
+	buf = node.AppendKey64(buf, a.rng.State())
+	buf = node.AppendKey64(buf, uint64(a.resamples))
+	return a.inner.SnapshotTo(buf)
+}
+
+// Restore implements node.Undoable.
+func (a *Alg3Resample) Restore(snap []byte) {
+	a.inner.id = node.Key64(snap)
+	a.inner.vid[0] = node.Key64(snap[8:])
+	a.inner.vid[1] = node.Key64(snap[16:])
+	a.rng.SetState(node.Key64(snap[24:]))
+	a.resamples = int(node.Key64(snap[32:]))
+	a.inner.Restore(snap[40:])
+}

@@ -30,8 +30,10 @@ func DefaultConfig() Config {
 			"cmd/experiments/main.go", // times table generation for display
 		},
 
-		// Replay determinism: the simulator and the core algorithms.
-		MapRangePkgs: []string{i("sim"), i("core")},
+		// Replay determinism: the simulator, the core algorithms, and the
+		// model checker (whose Report and witness must not depend on map
+		// iteration order at any worker count).
+		MapRangePkgs: []string{i("sim"), i("core"), i("check")},
 
 		// The intended import DAG. Entries list module-internal imports
 		// only; stdlib imports are unconstrained here (the content checks
@@ -80,9 +82,9 @@ func DefaultConfig() Config {
 		},
 		LayerExempt: []string{m + "/cmd", m + "/examples"},
 
-		// The live runtime is the only package with real shared-memory
-		// concurrency.
-		AtomicPkgs: []string{i("live")},
+		// Packages with real shared-memory concurrency: the live runtime
+		// and the parallel exhaustive explorer.
+		AtomicPkgs: []string{i("live"), i("check")},
 
 		// Machines whose Init/OnMsg handlers run inline on the event loops
 		// of internal/sim and internal/live: the algorithms, the universal

@@ -74,6 +74,24 @@ type KeyAppender interface {
 	AppendStateKey(dst []byte) []byte
 }
 
+// Undoable is an optional extension of Cloneable used by the undo-based
+// exhaustive explorer (internal/check): instead of deep-copying the whole
+// machine slice per branch, the explorer snapshots the one machine a step
+// mutates into a shared arena and restores it when backtracking.
+//
+// SnapshotTo appends a compact encoding of the machine's MUTABLE state to
+// buf and returns the extended buffer; construction-time constants (IDs,
+// port labels, schemes) need not be included. Restore sets the machine's
+// state from the prefix of snap written by the matching SnapshotTo call;
+// snap may carry trailing bytes beyond that prefix, which Restore must
+// ignore. Snapshots are only taken from — and restored onto — machines
+// whose Status().Err is nil (the explorer aborts on the first fault), so
+// implementations need not encode error values; Restore clears any.
+type Undoable interface {
+	SnapshotTo(buf []byte) []byte
+	Restore(snap []byte)
+}
+
 // AppendKey64 appends v to dst in little-endian order: the fixed-width
 // building block of binary state keys.
 func AppendKey64(dst []byte, v uint64) []byte {
@@ -84,6 +102,14 @@ func AppendKey64(dst []byte, v uint64) []byte {
 // AppendKey32 appends v to dst in little-endian order.
 func AppendKey32(dst []byte, v uint32) []byte {
 	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// Key64 reads the little-endian uint64 at the start of b: the inverse of
+// AppendKey64, used by Undoable.Restore implementations.
+func Key64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
 // State is a node's leader-election output.

@@ -58,6 +58,11 @@ func (s *SplitMix) Clone() *SplitMix {
 // State returns the generator's full internal state (for state keys).
 func (s *SplitMix) State() uint64 { return s.state }
 
+// SetState restores the generator to a state previously read with State
+// (the inverse of State; used by node.Undoable machines whose randomness
+// must snapshot and restore with the rest of their state).
+func (s *SplitMix) SetState(v uint64) { s.state = v }
+
 // Split derives a stream seed from a root seed and a coordinate vector
 // (experiment tag, sweep indices, trial index, ...). Each coordinate is
 // absorbed through a full SplitMix64 finalization round, so seeds for
