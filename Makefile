@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -82,6 +82,20 @@ modelcheck-smoke:
 	$(GO) run ./cmd/modelcheck -algo alg2 -ids 5,1,4,2 -audit-collisions >/dev/null
 	@echo "modelcheck reports identical at workers=1 and workers=4; audit clean"
 	@rm -f .modelcheck-w1.json .modelcheck-w4.json
+
+# fault-smoke proves the fault plane's determinism contract end to end:
+# two ringsim runs with identical (seed, fault-seed, classes, budget) must
+# produce byte-identical output — same outcome, same injection log — and
+# the fault-bearing packages must be race-clean.
+fault-smoke:
+	$(GO) run ./cmd/ringsim -algo alg1 -ids 4,9,2,7 -sched random -seed 3 \
+		-faults all -fault-seed 11 -fault-budget 4 > .fault-run-a.txt
+	$(GO) run ./cmd/ringsim -algo alg1 -ids 4,9,2,7 -sched random -seed 3 \
+		-faults all -fault-seed 11 -fault-budget 4 > .fault-run-b.txt
+	cmp .fault-run-a.txt .fault-run-b.txt
+	$(GO) test -race ./internal/fault/... ./internal/live/...
+	@echo "faulted replays byte-identical; fault and live packages race-clean"
+	@rm -f .fault-run-a.txt .fault-run-b.txt
 
 # fuzz-smoke gives every fuzz target a short budget; used by CI.
 fuzz-smoke:

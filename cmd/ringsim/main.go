@@ -8,9 +8,11 @@
 //	ringsim -algo alg1 -ids 2,5,5 -trace
 //	ringsim -algo anonymous -n 8 -c 2 -seed 7
 //	ringsim -algo alg2 -ids 1,2,3 -live
+//	ringsim -algo alg1 -ids 4,9,2,7 -faults corrupt -fault-budget 2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,8 @@ import (
 
 	"coleader"
 	"coleader/internal/core"
+	"coleader/internal/fault"
+	"coleader/internal/live"
 	"coleader/internal/node"
 	"coleader/internal/pulse"
 	"coleader/internal/ring"
@@ -46,7 +50,22 @@ func run() error {
 	doTrace := flag.Bool("trace", false, "print the full event trace (simulator only)")
 	diagram := flag.Bool("diagram", false, "print an ASCII space-time diagram (simulator only)")
 	jsonOut := flag.Bool("json", false, "with -trace: emit the event log as JSON")
+	faults := flag.String("faults", "", "enable seeded fault injection: 'all' or a comma list of loss,dup,spurious,crash,restart,corrupt")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule (default: -seed)")
+	faultBudget := flag.Int("fault-budget", 1, "number of injections to schedule (with -faults)")
 	flag.Parse()
+
+	if *faults != "" {
+		if *doTrace || *diagram {
+			return fmt.Errorf("-faults does not combine with -trace/-diagram")
+		}
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		return runFaulted(*algo, *idsFlag, *flipsFlag, *sched, *seed,
+			*faults, fseed, *faultBudget, *liveRun)
+	}
 
 	opts := []coleader.Option{
 		coleader.WithSeed(*seed),
@@ -148,13 +167,12 @@ func report(res coleader.Result) {
 	}
 }
 
-// runTraced re-runs on the simulator with a recorder attached and prints
-// the event log or a space-time diagram. It goes through the internal
-// packages directly because tracing is a development feature.
-func runTraced(algo, idsFlag string, flips []bool, schedName string, seed int64, diagram, jsonOut bool) error {
+// buildRing constructs the topology and machines for one of the traceable
+// deterministic algorithms.
+func buildRing(algo, idsFlag string, flips []bool) (ring.Topology, []node.PulseMachine, uint64, error) {
 	ids, err := parseIDs(idsFlag)
 	if err != nil {
-		return err
+		return ring.Topology{}, nil, 0, err
 	}
 	var topo ring.Topology
 	if flips != nil {
@@ -163,7 +181,7 @@ func runTraced(algo, idsFlag string, flips []bool, schedName string, seed int64,
 		topo, err = ring.Oriented(len(ids))
 	}
 	if err != nil {
-		return err
+		return ring.Topology{}, nil, 0, err
 	}
 	var ms []node.PulseMachine
 	var predicted uint64
@@ -178,8 +196,95 @@ func runTraced(algo, idsFlag string, flips []bool, schedName string, seed int64,
 		ms, err = core.Alg3Machines(len(ids), ids, core.SchemeSuccessor)
 		predicted = core.PredictedAlg3Pulses(len(ids), ring.MaxID(ids), core.SchemeSuccessor)
 	default:
-		return fmt.Errorf("tracing supports alg1|alg2|alg3, not %q", algo)
+		return ring.Topology{}, nil, 0, fmt.Errorf("this mode supports alg1|alg2|alg3, not %q", algo)
 	}
+	if err != nil {
+		return ring.Topology{}, nil, 0, err
+	}
+	return topo, ms, predicted, nil
+}
+
+// runFaulted executes one election under seeded fault injection and prints
+// the outcome plus the complete injection log. A faulted run that breaks —
+// stalls, circulates forever, or violates the termination discipline — is
+// the experiment's result, not a CLI failure, so it is reported inline and
+// the command still exits 0. Simulator runs are fully deterministic in
+// (-seed, -fault-seed, -faults, -fault-budget); -live runs are not.
+func runFaulted(algo, idsFlag, flipsFlag, schedName string, seed int64,
+	faultSpec string, faultSeed int64, budget int, liveRun bool) error {
+	classes, err := fault.ParseSet(faultSpec)
+	if err != nil {
+		return err
+	}
+	var flips []bool
+	if flipsFlag != "" {
+		for _, f := range strings.Split(flipsFlag, ",") {
+			flips = append(flips, strings.TrimSpace(f) == "1")
+		}
+	}
+	topo, ms, predicted, err := buildRing(algo, idsFlag, flips)
+	if err != nil {
+		return err
+	}
+	plane, err := fault.New(faultSeed, fault.Config{
+		Nodes:   topo.N(),
+		Classes: classes,
+		Budget:  budget,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fault plane: classes=%s budget=%d seed=%d\n", classes, budget, faultSeed)
+	var (
+		sent, sentCW, sentCCW uint64
+		leader                int
+		quiescent             bool
+		runErr                error
+	)
+	if liveRun {
+		res, err := live.Run(topo, ms, live.WithFaultPlane(plane))
+		sent, sentCW, sentCCW = res.Sent, res.SentCW, res.SentCCW
+		leader, quiescent, runErr = res.Leader, res.Quiescent, err
+	} else {
+		sched, ok := sim.Stock(seed)[schedName]
+		if !ok {
+			return fmt.Errorf("unknown scheduler %q", schedName)
+		}
+		s, err := sim.New(topo, ms, sched, sim.WithFaultPlane[pulse.Pulse](plane))
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(4*predicted + 1024)
+		sent, sentCW, sentCCW = res.Sent, res.SentCW, res.SentCCW
+		leader, quiescent, runErr = res.Leader, res.Quiescent, err
+	}
+
+	if runErr != nil {
+		fmt.Printf("outcome: %v\n", runErr)
+		var stall *live.StallError
+		if errors.As(runErr, &stall) {
+			for _, ns := range stall.Report.Nodes {
+				fmt.Printf("  stalled node %d: queued=%v crashed=%t\n", ns.Node, ns.Queued, ns.Crashed)
+			}
+		}
+	} else if leader >= 0 {
+		fmt.Printf("outcome: leader node %d, quiescent=%t\n", leader, quiescent)
+	} else {
+		fmt.Printf("outcome: no unique leader, quiescent=%t\n", quiescent)
+	}
+	fmt.Printf("pulses: %d total (%d cw, %d ccw)  [fault-free run predicts %d]\n",
+		sent, sentCW, sentCCW, predicted)
+	fmt.Printf("injections: %d scheduled, %d fired\n", len(plane.Log()), plane.Fired())
+	fmt.Print(fault.FormatLog(plane.Log()))
+	return nil
+}
+
+// runTraced re-runs on the simulator with a recorder attached and prints
+// the event log or a space-time diagram. It goes through the internal
+// packages directly because tracing is a development feature.
+func runTraced(algo, idsFlag string, flips []bool, schedName string, seed int64, diagram, jsonOut bool) error {
+	topo, ms, predicted, err := buildRing(algo, idsFlag, flips)
 	if err != nil {
 		return err
 	}

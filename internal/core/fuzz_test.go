@@ -33,7 +33,7 @@ func FuzzAlg2Election(f *testing.F) {
 		}
 		scheds := []sim.Scheduler{
 			sim.Canonical{}, sim.Newest{}, sim.NewRandom(seed), sim.NewRoundRobin(),
-			sim.NewFlaky(seed), sim.NewHashDelay(seed),
+			sim.NewLaggy(seed), sim.NewHashDelay(seed),
 		}
 		sched := scheds[int(schedRaw)%len(scheds)]
 		topo, err := ring.Oriented(n)

@@ -4,7 +4,10 @@
 // patterns (E4), the lemma invariants (E5), the comparison against
 // classical content-carrying election (E6), the Corollary 5 composition
 // (E7), Proposition 19 (E8), and exhaustive small-ring schedule checking
-// (E9). cmd/experiments renders them; EXPERIMENTS.md records the outputs
+// (E9). Later experiments probe beyond the paper's model: stabilization
+// timelines (E10), knowledge ablation (E11), transport width (E12),
+// redundancy composition (E13), and seeded fault injection (E14).
+// cmd/experiments renders them; EXPERIMENTS.md records the outputs
 // against the paper's statements.
 package experiments
 
@@ -53,6 +56,7 @@ func All() []Experiment {
 		{"E11", "Knowledge frontier: known-n Itai-Rodeh terminates where the no-knowledge pipeline can only stabilize", E11},
 		{"E12", "Transport ablation: chunk width vs pulse cost in the universal simulation layer", E12},
 		{"E13", "Section 1.1 r-redundancy composition: correctness preserved at exactly (r+1)-fold cost", E13},
+		{"E14", "Fault plane: stabilizing algorithms heal early output corruption exactly; the terminating algorithm breaks under conservation-violating faults", E14},
 	}
 }
 

@@ -1,0 +1,471 @@
+// Package fault is a seeded, deterministic fault plane shared by the
+// simulator (internal/sim) and the live runtime (internal/live). It models
+// a configurable adversary with a bounded fault budget: the whole injection
+// schedule is precomputed at construction from an xrand-split stream, so
+// identical (seed, Config) always produces the identical schedule — and, on
+// the deterministic simulator, the identical run — regardless of worker
+// count or runtime.
+//
+// The paper's model (Section 2) forbids every fault class here: channels
+// never drop, duplicate, or inject pulses, and nodes do not fail. The plane
+// exists to probe what happens beyond the model — the quiescently
+// stabilizing algorithms (1 and 3) degrade gracefully or recover, while the
+// quiescently terminating ones (2 and 4) visibly violate their guarantees.
+// DESIGN.md §9 maps each class to the model clause it breaks.
+//
+// Triggers are expressed in each target entity's local event count — "the
+// t-th send placed on channel c", "the t-th delivery taken from channel c",
+// "after node k's j-th handler invocation" (a node's Init is invocation 1)
+// — not in global time, so the same schedule is meaningful on both the
+// simulator's totally ordered steps and the live runtime's real
+// concurrency.
+//
+// Concurrency contract: the Plane itself holds no locks. Each counter is
+// owned by exactly one caller — in the simulator everything runs on the
+// event loop; on the live runtime each channel has a single sender (the
+// ring peer), a single pump, and each node a single goroutine — so OnSend,
+// OnDeliver, and OnHandler for a given entity are always invoked from one
+// goroutine. Log must only be called after the run has completed (for the
+// live runtime: after Run returned, which orders all goroutine writes
+// before the read).
+//
+// Content-obliviousness holds for the adversary too: every decision is a
+// function of seeds and event counts, never of payloads — the package is
+// registered in oblint's Oblivious list to keep it that way.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coleader/internal/xrand"
+)
+
+// Class identifies one fault class. The zero value means "no fault" and is
+// what the injection hooks return on the overwhelmingly common path.
+type Class uint8
+
+// Fault classes, each independently enable-able.
+const (
+	// Loss: a sent pulse vanishes before reaching its channel queue.
+	Loss Class = iota + 1
+	// Dup: a sent pulse is placed on its channel queue twice.
+	Dup
+	// Spurious: a pulse nobody sent appears on a channel.
+	Spurious
+	// Crash: a node silently stops after a handler (fail-stop; queued
+	// pulses addressed to it are never consumed).
+	Crash
+	// Restart: a node crashes after a handler and immediately restarts
+	// from its initial state (node.Undoable restore + a fresh Init).
+	Restart
+	// Corrupt: a node's state is transiently perturbed after a handler
+	// (node.Undoable restore from a randomized snapshot).
+	Corrupt
+
+	classCount = int(Corrupt)
+)
+
+var classNames = [classCount + 1]string{"none", "loss", "dup", "spurious", "crash", "restart", "corrupt"}
+
+// String returns the class's lowercase name.
+func (c Class) String() string {
+	if int(c) <= classCount {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Set is a bitmask of enabled fault classes.
+type Set uint8
+
+// AllClasses enables every fault class.
+const AllClasses Set = 1<<classCount - 1
+
+// NewSet builds a Set from classes.
+func NewSet(cs ...Class) Set {
+	var s Set
+	for _, c := range cs {
+		s |= 1 << (c - 1)
+	}
+	return s
+}
+
+// Has reports whether class c is enabled.
+func (s Set) Has(c Class) bool { return s&(1<<(c-1)) != 0 }
+
+// Classes returns the enabled classes in ascending order.
+func (s Set) Classes() []Class {
+	var cs []Class
+	for c := Loss; int(c) <= classCount; c++ {
+		if s.Has(c) {
+			cs = append(cs, c)
+		}
+	}
+	return cs
+}
+
+// String renders the set as a comma-separated class list.
+func (s Set) String() string {
+	cs := s.Classes()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// ParseSet parses a comma-separated class list ("loss,corrupt"), or "all".
+func ParseSet(spec string) (Set, error) {
+	if spec == "all" {
+		return AllClasses, nil
+	}
+	var s Set
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		found := false
+		for c := Loss; int(c) <= classCount; c++ {
+			if classNames[c] == name {
+				s |= 1 << (c - 1)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("fault: unknown class %q (want loss|dup|spurious|crash|restart|corrupt|all)", name)
+		}
+	}
+	return s, nil
+}
+
+// PerturbMode selects how Corrupt injections mangle a snapshot.
+type PerturbMode uint8
+
+const (
+	// PerturbOutput XORs a nonzero mask into the snapshot's final byte.
+	// Every core machine's Undoable encoding ends with its output
+	// state/flags byte, so this corrupts what the node *reports* (state,
+	// orientation) while leaving its counters — and therefore the pulse
+	// traffic — untouched: the fault class the stabilization theorems
+	// provably recover from.
+	PerturbOutput PerturbMode = iota
+	// PerturbBytes XORs nonzero masks into 1–3 random snapshot bytes,
+	// counters included: arbitrary transient memory corruption.
+	PerturbBytes
+)
+
+// Config parameterizes a Plane.
+type Config struct {
+	// Nodes is the ring size; channels are numbered 0..2*Nodes-1 with
+	// channel 2k+p feeding port p of node k (the runtimes' convention).
+	Nodes int
+	// Classes is the set of enabled fault classes.
+	Classes Set
+	// Budget is the number of injections to schedule.
+	Budget int
+	// Horizon bounds trigger draws: each injection arms at a local event
+	// ordinal drawn uniformly from [1, Horizon]. 0 means 8.
+	Horizon uint64
+	// Mode selects the Corrupt perturbation (default PerturbOutput).
+	Mode PerturbMode
+}
+
+// Injection is one scheduled fault, doubling as its own log entry once the
+// run has consumed the plane.
+type Injection struct {
+	Class Class
+	// Node is the target node: the restarted/crashed/corrupted node for
+	// node classes, the receiving node of Chan for channel classes.
+	Node int
+	// Chan is the target channel for Loss/Dup/Spurious, -1 for node
+	// classes.
+	Chan int
+	// Trigger is the target entity's local event ordinal that arms the
+	// injection (1-based).
+	Trigger uint64
+	// Step is the simulator step at which the injection fired (0 on the
+	// live runtime, whose events have no global order).
+	Step uint64
+	// Fired reports that the run reached the trigger.
+	Fired bool
+	// Skipped reports that the trigger was reached but the target could
+	// not absorb the fault (a Restart/Corrupt aimed at a machine that is
+	// not node.Undoable).
+	Skipped bool
+}
+
+// String renders one schedule/log line.
+func (in Injection) String() string {
+	var b strings.Builder
+	if in.Chan >= 0 {
+		fmt.Fprintf(&b, "%s chan %d (node %d port %d) @event#%d", in.Class, in.Chan, in.Node, in.Chan&1, in.Trigger)
+	} else {
+		fmt.Fprintf(&b, "%s node %d @handler#%d", in.Class, in.Node, in.Trigger)
+	}
+	switch {
+	case in.Skipped:
+		b.WriteString(" [skipped: target not restorable]")
+	case !in.Fired:
+		b.WriteString(" [never fired]")
+	case in.Step > 0:
+		fmt.Fprintf(&b, " [fired at step %d]", in.Step)
+	default:
+		b.WriteString(" [fired]")
+	}
+	return b.String()
+}
+
+// Plane is one run's worth of scheduled faults plus the event counters that
+// arm them. A Plane is single-use: attach it to exactly one run, then read
+// the log.
+type Plane struct {
+	cfg  Config
+	seed int64
+
+	// log holds every injection in schedule order; the pending lists
+	// below index into it.
+	log []Injection
+
+	// Per-entity pending injection indices, ascending by Trigger, with
+	// the head popped as counters pass it. Triggers are unique per
+	// counter domain (construction bumps collisions), so at most the
+	// head can match.
+	sendPending  [][]int // by channel: Loss/Dup, armed by OnSend
+	delivPending [][]int // by channel: Spurious, armed by OnDeliver
+	nodePending  [][]int // by node: Crash/Restart/Corrupt, by OnHandler
+
+	sendCount  []uint64
+	delivCount []uint64
+	nodeCount  []uint64
+
+	// lastNode tracks, per node, the most recently fired node injection
+	// so the runtime can mark it skipped (SkipLast).
+	lastNode []int
+}
+
+// streams for xrand.Split: the schedule draw and the perturb masks.
+const (
+	streamSchedule = 0xFA01
+	streamPerturb  = 0xFA02
+)
+
+// New builds the plane for one run: the full injection schedule is drawn
+// here, deterministically from (seed, cfg).
+func New(seed int64, cfg Config) (*Plane, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("fault: %d nodes", cfg.Nodes)
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("fault: negative budget %d", cfg.Budget)
+	}
+	if cfg.Budget > 0 && cfg.Classes == 0 {
+		return nil, fmt.Errorf("fault: budget %d with no classes enabled", cfg.Budget)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 8
+	}
+	n := cfg.Nodes
+	p := &Plane{
+		cfg:          cfg,
+		seed:         seed,
+		sendPending:  make([][]int, 2*n),
+		delivPending: make([][]int, 2*n),
+		nodePending:  make([][]int, n),
+		sendCount:    make([]uint64, 2*n),
+		delivCount:   make([]uint64, 2*n),
+		nodeCount:    make([]uint64, n),
+		lastNode:     make([]int, n),
+	}
+	for k := range p.lastNode {
+		p.lastNode[k] = -1
+	}
+
+	enabled := cfg.Classes.Classes()
+	if cfg.Budget == 0 || len(enabled) == 0 {
+		return p, nil
+	}
+	rng := xrand.New(xrand.Split(seed, streamSchedule, uint64(n)))
+	for b := 0; b < cfg.Budget; b++ {
+		cl := enabled[rng.Intn(len(enabled))]
+		in := Injection{Class: cl, Chan: -1}
+		switch cl {
+		case Loss, Dup, Spurious:
+			in.Chan = rng.Intn(2 * n)
+			in.Node = in.Chan / 2
+		default:
+			in.Node = rng.Intn(n)
+		}
+		in.Trigger = 1 + uint64(rng.Int63n(int64(cfg.Horizon)))
+		// Triggers must be unique within a counter domain so that at
+		// most one injection arms per event; collisions bump upward.
+		for p.triggerTaken(in) {
+			in.Trigger++
+		}
+		p.log = append(p.log, in)
+	}
+	p.indexSchedule()
+	return p, nil
+}
+
+// domain returns which counter domain an injection arms in: 0 = sends on
+// its channel, 1 = deliveries on its channel, 2 = handlers of its node.
+func (in Injection) domain() int {
+	switch in.Class {
+	case Loss, Dup:
+		return 0
+	case Spurious:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (p *Plane) triggerTaken(cand Injection) bool {
+	for _, in := range p.log {
+		if in.domain() != cand.domain() || in.Trigger != cand.Trigger {
+			continue
+		}
+		if cand.domain() == 2 {
+			if in.Node == cand.Node {
+				return true
+			}
+		} else if in.Chan == cand.Chan {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Plane) indexSchedule() {
+	for i, in := range p.log {
+		switch in.domain() {
+		case 0:
+			p.sendPending[in.Chan] = append(p.sendPending[in.Chan], i)
+		case 1:
+			p.delivPending[in.Chan] = append(p.delivPending[in.Chan], i)
+		default:
+			p.nodePending[in.Node] = append(p.nodePending[in.Node], i)
+		}
+	}
+	byTrigger := func(list []int) {
+		sort.Slice(list, func(a, b int) bool {
+			return p.log[list[a]].Trigger < p.log[list[b]].Trigger
+		})
+	}
+	for _, lists := range [][][]int{p.sendPending, p.delivPending, p.nodePending} {
+		for _, list := range lists {
+			byTrigger(list)
+		}
+	}
+}
+
+// fire pops the head of pending if its trigger matches count, records the
+// firing, and returns the class (0 otherwise).
+func (p *Plane) fire(pending *[]int, count, step uint64) (Class, int) {
+	list := *pending
+	if len(list) == 0 || p.log[list[0]].Trigger != count {
+		return 0, -1
+	}
+	i := list[0]
+	*pending = list[1:]
+	p.log[i].Fired = true
+	p.log[i].Step = step
+	return p.log[i].Class, i
+}
+
+// OnSend advances channel c's send counter and returns Loss, Dup, or 0 for
+// the pulse being placed on c. step tags the log entry (pass 0 when there
+// is no global step, as on the live runtime).
+func (p *Plane) OnSend(step uint64, c int) Class {
+	p.sendCount[c]++
+	cl, _ := p.fire(&p.sendPending[c], p.sendCount[c], step)
+	return cl
+}
+
+// OnDeliver advances channel c's delivery counter and returns Spurious if a
+// pulse must be injected onto c around this delivery, else 0.
+func (p *Plane) OnDeliver(step uint64, c int) Class {
+	p.delivCount[c]++
+	cl, _ := p.fire(&p.delivPending[c], p.delivCount[c], step)
+	return cl
+}
+
+// OnHandler advances node k's handler counter (Init is invocation 1) and
+// returns Crash, Restart, Corrupt, or 0.
+func (p *Plane) OnHandler(step uint64, k int) Class {
+	p.nodeCount[k]++
+	cl, i := p.fire(&p.nodePending[k], p.nodeCount[k], step)
+	if cl != 0 {
+		p.lastNode[k] = i
+	}
+	return cl
+}
+
+// SkipLast marks node k's most recently fired injection as skipped: the
+// runtime reached the trigger but the target machine could not absorb the
+// fault (it does not implement node.Undoable).
+func (p *Plane) SkipLast(k int) {
+	if i := p.lastNode[k]; i >= 0 {
+		p.log[i].Skipped = true
+	}
+}
+
+// Perturb returns a corrupted copy of snap per the configured PerturbMode.
+// The mask stream is a pure function of (plane seed, node, the node's
+// handler count), so a given firing corrupts identically on every runtime.
+func (p *Plane) Perturb(k int, snap []byte) []byte {
+	out := append([]byte(nil), snap...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := xrand.New(xrand.Split(p.seed, streamPerturb, uint64(k), p.nodeCount[k]))
+	nonzero := func() byte {
+		if m := byte(rng.Uint64()); m != 0 {
+			return m
+		}
+		return 0x5A
+	}
+	switch p.cfg.Mode {
+	case PerturbBytes:
+		for i, nb := 0, 1+rng.Intn(3); i < nb; i++ {
+			out[rng.Intn(len(out))] ^= nonzero()
+		}
+	default:
+		out[len(out)-1] ^= nonzero()
+	}
+	return out
+}
+
+// Config returns the plane's (normalized) configuration.
+func (p *Plane) Config() Config { return p.cfg }
+
+// Seed returns the plane's seed.
+func (p *Plane) Seed() int64 { return p.seed }
+
+// Log returns a copy of the injection schedule with firing annotations.
+// Call only after the run using this plane has completed.
+func (p *Plane) Log() []Injection {
+	return append([]Injection(nil), p.log...)
+}
+
+// Fired counts injections whose trigger was reached (including skipped
+// ones). Call only after the run has completed.
+func (p *Plane) Fired() int {
+	n := 0
+	for _, in := range p.log {
+		if in.Fired {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatLog renders the schedule one injection per line, for reports.
+func FormatLog(log []Injection) string {
+	var b strings.Builder
+	for i, in := range log {
+		fmt.Fprintf(&b, "  [%d] %s\n", i+1, in)
+	}
+	return b.String()
+}

@@ -12,8 +12,10 @@ func DefaultConfig() Config {
 
 		// The packages whose algorithms must be content-oblivious: the
 		// paper's core algorithms, the universal simulation over pulses,
-		// and the lower-bound machinery (paper Sections 3-5).
-		Oblivious: []string{i("core"), i("defective"), i("lowerbound")},
+		// the lower-bound machinery (paper Sections 3-5), and the fault
+		// plane (an adversary that reads pulse content would be strictly
+		// stronger than the model's, voiding the stabilization results).
+		Oblivious: []string{i("core"), i("defective"), i("lowerbound"), i("fault")},
 		PulseType: i("pulse") + ".Pulse",
 		ContentImports: []string{
 			i("baseline"), // content-carrying classical protocols
@@ -30,10 +32,11 @@ func DefaultConfig() Config {
 			"cmd/experiments/main.go", // times table generation for display
 		},
 
-		// Replay determinism: the simulator, the core algorithms, and the
+		// Replay determinism: the simulator, the core algorithms, the
 		// model checker (whose Report and witness must not depend on map
-		// iteration order at any worker count).
-		MapRangePkgs: []string{i("sim"), i("core"), i("check")},
+		// iteration order at any worker count), and the fault plane (its
+		// schedule and injection log must replay bit-for-bit from a seed).
+		MapRangePkgs: []string{i("sim"), i("core"), i("check"), i("fault")},
 
 		// The intended import DAG. Entries list module-internal imports
 		// only; stdlib imports are unconstrained here (the content checks
@@ -50,9 +53,13 @@ func DefaultConfig() Config {
 			i("node"): {i("pulse")},
 			i("ring"): {i("pulse")},
 
+			// Seeded fault schedules: pure data derived from xrand streams,
+			// consumed by both runtimes.
+			i("fault"): {i("xrand")},
+
 			// Runtimes.
-			i("sim"):  {i("node"), i("pulse"), i("ring")},
-			i("live"): {i("node"), i("pulse"), i("ring")},
+			i("sim"):  {i("fault"), i("node"), i("pulse"), i("ring")},
+			i("live"): {i("fault"), i("node"), i("pulse"), i("ring")},
 
 			// Algorithms.
 			i("core"):       {i("node"), i("pulse"), i("ring"), i("xrand")},
@@ -69,8 +76,8 @@ func DefaultConfig() Config {
 			// Harness.
 			i("experiments"): {
 				i("baseline"), i("check"), i("core"), i("defective"),
-				i("lowerbound"), i("node"), i("pulse"), i("ring"),
-				i("sim"), i("stats"), i("trace"), i("xrand"),
+				i("fault"), i("lowerbound"), i("node"), i("pulse"),
+				i("ring"), i("sim"), i("stats"), i("trace"), i("xrand"),
 			},
 
 			// Facade.

@@ -1,0 +1,53 @@
+// Package faultplane is a fixture shaped like internal/fault, violating
+// the policies the real fault plane is registered under: it must stay
+// content-oblivious (the adversary may count pulses but never read them)
+// and deterministic (its schedule must replay bit-for-bit from a seed).
+package faultplane
+
+import (
+	"encoding/json" // want "content-oblivious package imports content-carrying \"encoding/json\""
+	"math/rand"
+	"time"
+)
+
+// Injection is a scheduled fault, as in the real plane.
+type Injection struct {
+	Chan    int
+	Trigger uint64
+}
+
+// Plane is a fault schedule with two illegal capabilities.
+type Plane struct {
+	// payloads would let the adversary inject content, not just pulses.
+	payloads chan uint64 // want "channel of uint64 in content-oblivious package"
+	pending  map[int][]Injection
+}
+
+// schedule draws triggers from the global source: two planes built from
+// the same seed would disagree, so no run could be replayed.
+func (p *Plane) schedule(budget int) {
+	for i := 0; i < budget; i++ {
+		in := Injection{Chan: rand.Intn(4), Trigger: uint64(i) + 1} // want "global math/rand.Intn draws from the shared source"
+		p.pending[in.Chan] = append(p.pending[in.Chan], in)
+	}
+}
+
+// log serializes the schedule. The map iteration randomizes the log order
+// across runs, and the timestamp ties it to the wall clock: both break the
+// identical-seed-identical-log guarantee.
+func (p *Plane) log() []byte {
+	var all []Injection
+	for _, ins := range p.pending { // want "range over map map\\[int\\]\\[\\]fixt/faultplane.Injection has randomized order"
+		all = append(all, ins...)
+	}
+	_ = time.Now() // want "wall-clock call time.Now"
+	b, _ := json.Marshal(all)
+	return b
+}
+
+// firedAt replays deterministically from sorted per-channel lists: the
+// shape the real plane uses, with no violations.
+func (p *Plane) firedAt(c int, count uint64) bool {
+	ins := p.pending[c]
+	return len(ins) > 0 && ins[0].Trigger == count
+}

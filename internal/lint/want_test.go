@@ -170,6 +170,24 @@ func TestFixtureDeterminism(t *testing.T) {
 	}
 }
 
+// TestFixtureFaultPolicy proves the checks internal/fault is registered
+// under (content-obliviousness + replay determinism) actually bite on a
+// fault-plane-shaped package: an adversary that reads content or draws
+// from unseeded sources must be flagged.
+func TestFixtureFaultPolicy(t *testing.T) {
+	cfg := lint.Config{
+		Oblivious:      []string{"fixt/faultplane"},
+		PulseType:      "coleader/internal/pulse.Pulse",
+		ContentImports: []string{"encoding"},
+		MapRangePkgs:   []string{"fixt/faultplane"},
+		Checks: []string{
+			lint.CheckObliviousImport, lint.CheckObliviousChan,
+			lint.CheckDetTime, lint.CheckDetGlobalRand, lint.CheckDetMapRange,
+		},
+	}
+	runFixture(t, cfg, "fixt/faultplane")
+}
+
 func TestFixtureLayering(t *testing.T) {
 	cfg := lint.Config{
 		Module: "fixt",
@@ -183,7 +201,7 @@ func TestFixtureLayering(t *testing.T) {
 			// fixt/layer/unreg deliberately absent.
 		},
 		// The non-layer fixture packages are out of scope for this test.
-		LayerExempt: []string{"fixt/obliv", "fixt/det", "fixt/content", "fixt/atomicmix"},
+		LayerExempt: []string{"fixt/obliv", "fixt/det", "fixt/content", "fixt/atomicmix", "fixt/faultplane"},
 		Checks:      []string{lint.CheckLayerDAG},
 	}
 	runFixture(t, cfg, "fixt/layer/a", "fixt/layer/b", "fixt/layer/c",

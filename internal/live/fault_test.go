@@ -1,0 +1,298 @@
+package live_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"coleader/internal/core"
+	"coleader/internal/fault"
+	"coleader/internal/live"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// sender fires one pulse out of Port1 and then idles with both ports open.
+type sender struct{}
+
+func (sender) Init(e node.PulseEmitter)                         { e.Send(pulse.Port1, pulse.Pulse{}) }
+func (sender) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {}
+func (sender) Ready(pulse.Port) bool                            { return true }
+func (sender) Status() node.Status                              { return node.Status{} }
+
+// deaf never reads Port0: anything queued there strands forever.
+type deaf struct{}
+
+func (deaf) Init(node.PulseEmitter)                           {}
+func (deaf) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {}
+func (deaf) Ready(p pulse.Port) bool                          { return p == pulse.Port1 }
+func (deaf) Status() node.Status                              { return node.Status{} }
+
+// TestLiveStallReport: a deliberately stalling machine must produce a
+// structured StallReport that names the stalled node and its non-empty
+// queue, not just a bare timeout.
+func TestLiveStallReport(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0's Port1 pulse arrives at node 1's Port0, which deaf never
+	// drains: one pulse stays in flight forever.
+	ms := []node.PulseMachine{sender{}, deaf{}}
+	_, err = live.Run(topo, ms, live.WithTimeout(50*time.Millisecond))
+	var stall *live.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v (%T), want *StallError", err, err)
+	}
+	if !errors.Is(err, live.ErrTimeout) {
+		t.Errorf("StallError does not wrap ErrTimeout")
+	}
+	rep := stall.Report
+	if rep.InFlight != 1 {
+		t.Errorf("InFlight = %d, want 1", rep.InFlight)
+	}
+	if rep.Unstarted != 0 {
+		t.Errorf("Unstarted = %d, want 0", rep.Unstarted)
+	}
+	if len(rep.Nodes) != 1 || rep.Nodes[0].Node != 1 {
+		t.Fatalf("report nodes = %+v, want exactly node 1", rep.Nodes)
+	}
+	ns := rep.Nodes[0]
+	if ns.Queued != [2]int{1, 0} {
+		t.Errorf("node 1 queued = %v, want [1 0]", ns.Queued)
+	}
+	if ns.Crashed {
+		t.Error("node 1 reported crashed without a fault plane")
+	}
+	if !strings.Contains(err.Error(), "stalled node 1") {
+		t.Errorf("error %q does not name the stalled node", err)
+	}
+}
+
+// TestLiveFaultZeroBudget: attaching a zero-budget plane must not change
+// the outcome — same leader, same exact pulse count.
+func TestLiveFaultZeroBudget(t *testing.T) {
+	ids := []uint64{3, 1, 4, 2}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := fault.New(1, fault.Config{Nodes: len(ids), Classes: fault.AllClasses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.Run(topo, ms, live.WithFaultPlane(plane))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLeader, _ := ring.MaxIndex(ids)
+	if res.Leader != wantLeader {
+		t.Errorf("leader %d, want %d", res.Leader, wantLeader)
+	}
+	if want := core.PredictedAlg2Pulses(len(ids), 4); res.Sent != want {
+		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+	if len(plane.Log()) != 0 {
+		t.Errorf("zero-budget plane logged injections: %v", plane.Log())
+	}
+}
+
+// TestLiveFaultPlaneSizeMismatch: a plane sized for the wrong ring is
+// rejected up front rather than panicking mid-run.
+func TestLiveFaultPlaneSizeMismatch(t *testing.T) {
+	topo, err := ring.Oriented(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := fault.New(1, fault.Config{Nodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Run(topo, ms, live.WithFaultPlane(plane)); err == nil {
+		t.Error("mismatched plane accepted")
+	}
+}
+
+// TestLiveFaultCrashStallReport: a crash injection fail-stops a node; the
+// watchdog's report marks that exact node as crashed.
+func TestLiveFaultCrashStallReport(t *testing.T) {
+	ids := []uint64{3, 1, 4}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon 1: the crash fires at its target's very first handler
+	// invocation (Init). The crashed node's incoming pulses strand, so the
+	// run can never quiesce.
+	plane, err := fault.New(21, fault.Config{
+		Nodes: len(ids), Classes: fault.NewSet(fault.Crash), Budget: 1, Horizon: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = live.Run(topo, ms,
+		live.WithFaultPlane(plane), live.WithTimeout(100*time.Millisecond))
+	var stall *live.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	log := plane.Log()
+	if len(log) != 1 || !log[0].Fired {
+		t.Fatalf("crash injection did not fire: %v", log)
+	}
+	victim := log[0].Node
+	found := false
+	for _, ns := range stall.Report.Nodes {
+		if ns.Node == victim && ns.Crashed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report %+v does not mark node %d crashed", stall.Report.Nodes, victim)
+	}
+}
+
+// TestLiveFaultLossQuiesces: losing a pulse from the stabilizing Algorithm 1
+// still quiesces (fewer pulses than clean), matching the simulator's
+// conservation analysis on the live runtime.
+func TestLiveFaultLossQuiesces(t *testing.T) {
+	ids := []uint64{3, 1, 4, 2}
+	clean := core.PredictedAlg1Pulses(len(ids), 4)
+	fired := false
+	for seed := int64(1); seed <= 20 && !fired; seed++ {
+		plane, err := fault.New(seed, fault.Config{
+			Nodes: len(ids), Classes: fault.NewSet(fault.Loss), Budget: 1, Horizon: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := ring.Oriented(len(ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg1Machines(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Run(topo, ms, live.WithFaultPlane(plane))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !plane.Log()[0].Fired {
+			continue // injection targeted a channel Algorithm 1 never uses
+		}
+		fired = true
+		if !res.Quiescent {
+			t.Errorf("seed %d: lossy run did not quiesce", seed)
+		}
+		if res.Sent >= clean {
+			t.Errorf("seed %d: sent %d, want < clean %d", seed, res.Sent, clean)
+		}
+	}
+	if !fired {
+		t.Fatal("no seed fired a loss injection")
+	}
+}
+
+// TestLiveFaultSpuriousTimesOut: an injected pulse breaks Algorithm 1's
+// pulse conservation, so the ring circulates forever and the watchdog
+// reports the stall with a positive in-flight count and no crashed nodes.
+func TestLiveFaultSpuriousTimesOut(t *testing.T) {
+	ids := []uint64{3, 1, 4, 2}
+	fired := false
+	for seed := int64(1); seed <= 20 && !fired; seed++ {
+		plane, err := fault.New(seed, fault.Config{
+			Nodes: len(ids), Classes: fault.NewSet(fault.Spurious), Budget: 1, Horizon: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := ring.Oriented(len(ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg1Machines(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = live.Run(topo, ms,
+			live.WithFaultPlane(plane), live.WithTimeout(150*time.Millisecond))
+		if !plane.Log()[0].Fired {
+			if err != nil {
+				t.Fatalf("seed %d: unfired plane errored: %v", seed, err)
+			}
+			continue
+		}
+		fired = true
+		var stall *live.StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("seed %d: err = %v, want *StallError", seed, err)
+		}
+		if stall.Report.InFlight <= 0 {
+			t.Errorf("seed %d: InFlight = %d, want > 0", seed, stall.Report.InFlight)
+		}
+		for _, ns := range stall.Report.Nodes {
+			if ns.Crashed {
+				t.Errorf("seed %d: node %d reported crashed on a spurious-only plane", seed, ns.Node)
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("no seed fired a spurious injection")
+	}
+}
+
+// TestLiveFaultCorruptHeals: output-mode corruption of Algorithm 1 is the
+// guaranteed-recovery class — the next delivery rewrites the corrupted
+// byte, so the run quiesces with the exact clean pulse count and the
+// correct leader, on real goroutines.
+func TestLiveFaultCorruptHeals(t *testing.T) {
+	ids := []uint64{3, 1, 4, 2}
+	clean := core.PredictedAlg1Pulses(len(ids), 4)
+	wantLeader, _ := ring.MaxIndex(ids)
+	for _, budget := range []int{1, 2} {
+		plane, err := fault.New(17, fault.Config{
+			Nodes:   len(ids),
+			Classes: fault.NewSet(fault.Corrupt),
+			Budget:  budget,
+			Horizon: 2,
+			Mode:    fault.PerturbOutput,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := ring.Oriented(len(ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := core.Alg1Machines(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := live.Run(topo, ms, live.WithFaultPlane(plane))
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if got := plane.Fired(); got != budget {
+			t.Fatalf("budget %d: %d injections fired", budget, got)
+		}
+		if !res.Quiescent || res.Leader != wantLeader || res.Sent != clean {
+			t.Errorf("budget %d: quiescent=%t leader=%d sent=%d, want true/%d/%d",
+				budget, res.Quiescent, res.Leader, res.Sent, wantLeader, clean)
+		}
+	}
+}

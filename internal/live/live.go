@@ -13,24 +13,43 @@
 // handler (and its sends) completed. Pulses are created only inside
 // handlers, and a running handler keeps its own input pulse counted, so
 // once the counter reaches zero with all nodes initialized it can never
-// rise again: zero is a stable, race-free quiescence witness.
+// rise again: zero is a stable, race-free quiescence witness. Detection is
+// event-driven — whichever goroutine performs the decrement that reaches
+// (0 in flight, 0 uninitialized) signals the supervisor directly, so there
+// is no poll loop and no detection latency to tune.
+//
+// A watchdog supervises the whole run: if the deadline passes without
+// quiescence, Run returns a structured StallReport naming the stalled
+// nodes, their queue occupancy, and the in-flight count, instead of a bare
+// timeout.
+//
+// WithFaultPlane steps deliberately outside the model: conduits then drop,
+// duplicate, and inject pulses, and nodes crash, restart, or corrupt on
+// the plane's seeded schedule. Fault accounting preserves the conservation
+// argument — drops are decided before the counter increment, injections
+// are counted before their pulse is offered, and a restart's sends happen
+// inside the handler window — so zero remains a stable witness even on
+// faulted runs.
 package live
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"coleader/internal/fault"
 	"coleader/internal/node"
 	"coleader/internal/pulse"
 	"coleader/internal/ring"
 )
 
 // ErrTimeout is returned when the network fails to quiesce within the
-// configured deadline.
+// configured deadline. The returned error is a *StallError carrying the
+// full StallReport; errors.Is(err, ErrTimeout) matches it.
 var ErrTimeout = errors.New("live: timed out waiting for quiescence")
 
 // Result summarizes a finished live run.
@@ -48,10 +67,63 @@ type Result struct {
 	TerminationOrder []int
 }
 
+// StallReport is the watchdog's structured diagnosis of a run that failed
+// to quiesce: the conservation counter's residue plus, per implicated
+// node, its queue occupancy, crash flag, and machine status.
+type StallReport struct {
+	// InFlight is the conservation counter at the deadline: pulses sent
+	// (or injected) but never fully processed.
+	InFlight int64
+	// Unstarted counts nodes whose Init had not completed.
+	Unstarted int
+	// Nodes lists every node with a non-empty queue or a crash, in
+	// ascending node order.
+	Nodes []NodeStall
+}
+
+// NodeStall describes one stalled node.
+type NodeStall struct {
+	Node int
+	// Queued holds the undelivered pulse count per port.
+	Queued [2]int
+	// Crashed reports a fault-plane crash (the node stopped consuming).
+	Crashed bool
+	// Status is the machine's final status.
+	Status node.Status
+}
+
+// StallError is the timeout error: it wraps ErrTimeout and carries the
+// StallReport.
+type StallError struct {
+	Report StallReport
+}
+
+// Error renders the report on one line.
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %d pulses unaccounted", ErrTimeout, e.Report.InFlight)
+	if e.Report.Unstarted > 0 {
+		fmt.Fprintf(&b, ", %d nodes uninitialized", e.Report.Unstarted)
+	}
+	for _, ns := range e.Report.Nodes {
+		fmt.Fprintf(&b, "; stalled node %d", ns.Node)
+		if ns.Crashed {
+			b.WriteString(" (crashed)")
+		}
+		if ns.Queued[0] > 0 || ns.Queued[1] > 0 {
+			fmt.Fprintf(&b, " queued=[%d %d]", ns.Queued[0], ns.Queued[1])
+		}
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrTimeout) hold.
+func (e *StallError) Unwrap() error { return ErrTimeout }
+
 type config struct {
 	timeout time.Duration
-	poll    time.Duration
 	chaos   uint64 // 0 = off; otherwise a jitter seed
+	plane   *fault.Plane
 }
 
 // Option configures Run.
@@ -60,8 +132,13 @@ type Option func(*config)
 // WithTimeout bounds the whole run (default 10s).
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
 
-// WithPollInterval sets the quiescence-detector poll period (default 200µs).
-func WithPollInterval(d time.Duration) Option { return func(c *config) { c.poll = d } }
+// WithPollInterval is a no-op kept for compatibility: quiescence detection
+// is event-driven (the goroutine whose decrement takes the conservation
+// counter to zero with all nodes initialized signals the supervisor), so
+// there is no poll period left to tune.
+//
+// Deprecated: remove calls; the option has no effect.
+func WithPollInterval(time.Duration) Option { return func(*config) {} }
 
 // WithChaos makes every conduit inject pseudo-random scheduling jitter
 // (bursts of runtime.Gosched and occasional microsecond sleeps) before
@@ -70,6 +147,16 @@ func WithPollInterval(d time.Duration) Option { return func(c *config) { c.poll 
 // adversarial delays the model allows, on real concurrency.
 func WithChaos(seed int64) Option { return func(c *config) { c.chaos = uint64(seed) | 1 } }
 
+// WithFaultPlane attaches a fault plane: sends consult it for loss and
+// duplication, conduit pumps for spurious injection, and node goroutines
+// for crash/restart/corruption after each handler. The plane's trigger
+// counters are per-entity and each entity is driven by exactly one
+// goroutine here (one sender, one pump, one node loop), matching the
+// plane's lock-free ownership contract. Faulted runs routinely end in a
+// *StallError — a crashed node strands its queue — which is then the
+// expected outcome, not a failure of the runtime.
+func WithFaultPlane(p *fault.Plane) Option { return func(c *config) { c.plane = p } }
+
 // Run executes the machines until quiescence (or until every node
 // terminates) and returns the outcome. Machines must not be reused across
 // runs.
@@ -77,19 +164,34 @@ func Run(topo ring.Topology, machines []node.PulseMachine, opts ...Option) (Resu
 	if len(machines) != topo.N() {
 		return Result{}, fmt.Errorf("live: %d machines for %d nodes", len(machines), topo.N())
 	}
-	cfg := config{timeout: 10 * time.Second, poll: 200 * time.Microsecond}
+	cfg := config{timeout: 10 * time.Second}
 	for _, o := range opts {
 		o(&cfg)
 	}
-
 	n := topo.N()
+	if cfg.plane != nil && cfg.plane.Config().Nodes != n {
+		return Result{}, fmt.Errorf("live: fault plane sized for %d nodes on a %d-node ring",
+			cfg.plane.Config().Nodes, n)
+	}
+
 	r := &netRuntime{
 		topo:     topo,
 		machines: machines,
 		stop:     make(chan struct{}),
+		quiesce:  make(chan struct{}, 1),
 		conduits: make([]*conduit, 2*n),
+		plane:    cfg.plane,
 	}
 	r.initsLeft.Store(int64(n))
+	if r.plane != nil {
+		r.crashed = make([]bool, n)
+		r.initSnaps = make([][]byte, n)
+		for k, m := range machines {
+			if u, ok := m.(node.Undoable); ok {
+				r.initSnaps[k] = u.SnapshotTo(nil)
+			}
+		}
+	}
 
 	// One conduit per directed channel, keyed by receiving endpoint.
 	for k := 0; k < n; k++ {
@@ -99,7 +201,22 @@ func Run(topo ring.Topology, machines []node.PulseMachine, opts ...Option) (Resu
 			if cfg.chaos != 0 {
 				jitter = cfg.chaos*0x9e3779b97f4a7c15 + uint64(c)
 			}
-			r.conduits[c] = newConduit(jitter)
+			cd := newConduit(jitter)
+			if r.plane != nil {
+				ch := c
+				dir := topo.ArrivalDirection(k, p)
+				// The pump consults the plane once per delivery; an
+				// injected pulse is counted in flight before it is ever
+				// offered, keeping zero a stable quiescence witness.
+				cd.preDeliver = func() int {
+					if r.plane.OnDeliver(0, ch) == fault.Spurious {
+						r.count(dir)
+						return 1
+					}
+					return 0
+				}
+			}
+			r.conduits[c] = cd
 		}
 	}
 
@@ -109,17 +226,18 @@ func Run(topo ring.Topology, machines []node.PulseMachine, opts ...Option) (Resu
 		go r.nodeLoop(k, &wg)
 	}
 
-	// Monitor: wait for quiescence, then release the node goroutines.
+	// Supervisor: wait for the quiescence signal, then release the node
+	// goroutines; at the deadline, diagnose instead.
 	deadline := time.NewTimer(cfg.timeout)
 	defer deadline.Stop()
-	tick := time.NewTicker(cfg.poll)
-	defer tick.Stop()
 
 	var timedOut bool
 monitor:
 	for {
 		select {
-		case <-tick.C:
+		case <-r.quiesce:
+			// The signal is sent by the goroutine that observed
+			// (0 in flight, 0 uninitialized); re-check defensively.
 			if r.initsLeft.Load() == 0 && r.inflight.Load() == 0 {
 				break monitor
 			}
@@ -136,7 +254,7 @@ monitor:
 
 	res := r.collect()
 	if timedOut {
-		return res, fmt.Errorf("%w: %d pulses unaccounted", ErrTimeout, r.inflight.Load())
+		return res, &StallError{Report: r.stallReport()}
 	}
 	return res, nil
 }
@@ -146,6 +264,7 @@ type netRuntime struct {
 	machines  []node.PulseMachine
 	conduits  []*conduit
 	stop      chan struct{}
+	quiesce   chan struct{} // buffered(1): edge signal that zero was reached
 	inflight  atomic.Int64
 	initsLeft atomic.Int64
 
@@ -156,6 +275,37 @@ type netRuntime struct {
 
 	mu        sync.Mutex
 	termOrder []int
+
+	// Fault plane state (nil/absent on model-exact runs). crashed and
+	// initSnaps are written only by each node's own goroutine and read
+	// after wg.Wait, so they need no synchronization of their own.
+	plane     *fault.Plane
+	crashed   []bool
+	initSnaps [][]byte
+}
+
+// noteQuiet signals the supervisor if the conservation counter is zero with
+// every node initialized. Called after every decrement of either counter;
+// zero is stable once reached (no handler is running when in-flight is
+// zero, so nothing can send), making the edge signal sufficient.
+func (r *netRuntime) noteQuiet() {
+	if r.initsLeft.Load() == 0 && r.inflight.Load() == 0 {
+		select {
+		case r.quiesce <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// count records one pulse entering the wire.
+func (r *netRuntime) count(dir pulse.Direction) {
+	r.inflight.Add(1)
+	r.sent.Add(1)
+	if dir == pulse.CW {
+		r.sentCW.Add(1)
+	} else {
+		r.sentCCW.Add(1)
+	}
 }
 
 // emitter routes a node's sends into the appropriate conduits, maintaining
@@ -165,17 +315,56 @@ type emitter struct {
 	from int
 }
 
-// Send implements node.Emitter.
+// Send implements node.Emitter. With a fault plane, loss is decided before
+// the pulse is counted (a dropped pulse never enters the conservation
+// ledger) and duplication places two counted pulses.
 func (e emitter) Send(p pulse.Port, m pulse.Pulse) {
 	to := e.r.topo.Peer(e.from, p)
-	e.r.inflight.Add(1)
-	e.r.sent.Add(1)
-	if e.r.topo.DirectionOf(e.from, p) == pulse.CW {
-		e.r.sentCW.Add(1)
-	} else {
-		e.r.sentCCW.Add(1)
+	c := 2*to.Node + int(to.Port)
+	copies := 1
+	if e.r.plane != nil {
+		switch e.r.plane.OnSend(0, c) {
+		case fault.Loss:
+			return
+		case fault.Dup:
+			copies = 2
+		}
 	}
-	e.r.conduits[2*to.Node+int(to.Port)].push()
+	dir := e.r.topo.DirectionOf(e.from, p)
+	for i := 0; i < copies; i++ {
+		e.r.count(dir)
+		e.r.conduits[c].push()
+	}
+}
+
+// applyNodeFault consults the plane after node k's handler invocation and
+// applies the outcome. It returns false when the node crashed (the caller
+// must stop consuming); restart and corruption keep the node running.
+func (r *netRuntime) applyNodeFault(k int, m node.PulseMachine, em emitter) bool {
+	if r.plane == nil {
+		return true
+	}
+	switch r.plane.OnHandler(0, k) {
+	case fault.Crash:
+		r.crashed[k] = true
+		return false
+	case fault.Restart:
+		u, ok := m.(node.Undoable)
+		if !ok {
+			r.plane.SkipLast(k)
+			break
+		}
+		u.Restore(r.initSnaps[k])
+		m.Init(em) // the restart's wake-up; its sends are counted normally
+	case fault.Corrupt:
+		u, ok := m.(node.Undoable)
+		if !ok {
+			r.plane.SkipLast(k)
+			break
+		}
+		u.Restore(r.plane.Perturb(k, u.SnapshotTo(nil)))
+	}
+	return true
 }
 
 func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
@@ -184,7 +373,12 @@ func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
 	em := emitter{r: r, from: k}
 
 	m.Init(em)
+	alive := r.applyNodeFault(k, m, em)
 	r.initsLeft.Add(-1)
+	r.noteQuiet()
+	if !alive {
+		return
+	}
 
 	in0 := r.conduits[2*k+0]
 	in1 := r.conduits[2*k+1]
@@ -215,15 +409,25 @@ func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
 				return
 			}
 			m.OnMsg(pulse.Port0, pulse.Pulse{}, em)
+			alive = r.applyNodeFault(k, m, em)
 			r.delivered.Add(1)
 			r.inflight.Add(-1)
+			r.noteQuiet()
+			if !alive {
+				return
+			}
 		case _, ok := <-c1:
 			if !ok {
 				return
 			}
 			m.OnMsg(pulse.Port1, pulse.Pulse{}, em)
+			alive = r.applyNodeFault(k, m, em)
 			r.delivered.Add(1)
 			r.inflight.Add(-1)
+			r.noteQuiet()
+			if !alive {
+				return
+			}
 		}
 	}
 }
@@ -260,15 +464,47 @@ func (r *netRuntime) collect() Result {
 	return res
 }
 
+// stallReport assembles the watchdog diagnosis. Called after wg.Wait, so
+// machine and crash state reads are ordered after all goroutine writes.
+func (r *netRuntime) stallReport() StallReport {
+	rep := StallReport{
+		InFlight:  r.inflight.Load(),
+		Unstarted: int(r.initsLeft.Load()),
+	}
+	for k := 0; k < r.topo.N(); k++ {
+		q0 := r.conduits[2*k+0].queued()
+		q1 := r.conduits[2*k+1].queued()
+		crashed := r.crashed != nil && r.crashed[k]
+		if q0 == 0 && q1 == 0 && !crashed {
+			continue
+		}
+		rep.Nodes = append(rep.Nodes, NodeStall{
+			Node:    k,
+			Queued:  [2]int{q0, q1},
+			Crashed: crashed,
+			Status:  r.machines[k].Status(),
+		})
+	}
+	return rep
+}
+
 // conduit is an unbounded FIFO pulse channel. Pulses carry no content, so
 // the backlog is a counter; a tiny pump goroutine offers pulses on out
-// whenever the backlog is positive. push never blocks.
+// whenever the backlog is positive. push never blocks. pushed/taken shadow
+// the backlog in atomics so the watchdog can read queue occupancy.
 type conduit struct {
 	in     chan pulse.Pulse
 	out    chan pulse.Pulse
 	done   chan struct{}
 	once   sync.Once
 	jitter uint64 // 0 = no chaos; otherwise the channel's jitter state
+
+	// preDeliver, when set, is consulted exactly once per offered pulse
+	// and returns extra (injected) pulses to add to the backlog.
+	preDeliver func() int
+
+	pushed atomic.Int64
+	taken  atomic.Int64
 }
 
 func newConduit(jitter uint64) *conduit {
@@ -283,6 +519,7 @@ func newConduit(jitter uint64) *conduit {
 }
 
 func (c *conduit) push() {
+	c.pushed.Add(1)
 	select {
 	case c.in <- pulse.Pulse{}:
 	case <-c.done:
@@ -290,6 +527,10 @@ func (c *conduit) push() {
 }
 
 func (c *conduit) close() { c.once.Do(func() { close(c.done) }) }
+
+// queued returns the undelivered pulse count (approximate while the pump
+// is running; exact once it has stopped).
+func (c *conduit) queued() int { return int(c.pushed.Load() - c.taken.Load()) }
 
 // shake injects pseudo-random scheduling jitter before a delivery.
 func (c *conduit) shake() {
@@ -314,9 +555,19 @@ func (c *conduit) shake() {
 
 func (c *conduit) pump() {
 	backlog := 0
+	counted := false // plane consulted for the pulse currently on offer
 	for {
 		var out chan<- pulse.Pulse
 		if backlog > 0 {
+			if !counted {
+				counted = true
+				if c.preDeliver != nil {
+					if extra := c.preDeliver(); extra > 0 {
+						backlog += extra
+						c.pushed.Add(int64(extra))
+					}
+				}
+			}
 			c.shake()
 			out = c.out
 		}
@@ -327,6 +578,8 @@ func (c *conduit) pump() {
 			backlog++
 		case out <- pulse.Pulse{}:
 			backlog--
+			counted = false
+			c.taken.Add(1)
 		}
 	}
 }

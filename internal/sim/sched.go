@@ -167,25 +167,40 @@ func (d DirBiased) Next(v View) int {
 	return Canonical{}.Next(v)
 }
 
-// Flaky alternates bursts of canonical delivery with bursts of random
+// Laggy alternates bursts of canonical delivery with bursts of random
 // delivery, switching with probability 1/8 per step: a schedule with long
-// quiet stretches punctuated by reordering storms.
-type Flaky struct {
+// quiet stretches punctuated by reordering storms. Despite the old name
+// (Flaky), it never drops or corrupts anything — a scheduler only reorders
+// delivery; actual pulse loss, duplication, and injection live in
+// internal/fault and attach via WithFaultPlane.
+type Laggy struct {
 	rng    *rand.Rand
 	stormy bool
 	inner  *Random
 }
 
-// NewFlaky returns a Flaky scheduler seeded with seed.
-func NewFlaky(seed int64) *Flaky {
-	return &Flaky{
+// NewLaggy returns a Laggy scheduler seeded with seed.
+func NewLaggy(seed int64) *Laggy {
+	return &Laggy{
 		rng:   rand.New(rand.NewSource(seed)),
 		inner: NewRandom(seed + 1),
 	}
 }
 
+// Flaky is the old name of Laggy.
+//
+// Deprecated: use Laggy. The scheduler only lags (reorders) deliveries;
+// for genuinely flaky channels — loss, duplication, spurious pulses — use
+// a fault.Plane via WithFaultPlane.
+type Flaky = Laggy
+
+// NewFlaky returns a Laggy scheduler seeded with seed.
+//
+// Deprecated: use NewLaggy.
+func NewFlaky(seed int64) *Laggy { return NewLaggy(seed) }
+
 // Next implements Scheduler.
-func (f *Flaky) Next(v View) int {
+func (f *Laggy) Next(v View) int {
 	if f.rng.Intn(8) == 0 {
 		f.stormy = !f.stormy
 	}
@@ -240,7 +255,7 @@ func Stock(seed int64) map[string]Scheduler {
 		"roundrobin": NewRoundRobin(),
 		"ccw-first":  DirBiased{Prefer: pulse.CCW},
 		"cw-first":   DirBiased{Prefer: pulse.CW},
-		"flaky":      NewFlaky(seed),
+		"flaky":      NewLaggy(seed),
 		"hashdelay":  NewHashDelay(seed),
 	}
 }

@@ -5,7 +5,9 @@
 // Sim[baseline.Msg].
 //
 // Asynchrony is modeled exactly as in Section 2 of the paper: channels never
-// drop, duplicate, or inject messages; delays are unbounded but finite. Any
+// drop, duplicate, or inject messages; delays are unbounded but finite.
+// (WithFaultPlane deliberately steps outside that model for robustness
+// experiments; without it the model holds exactly.) Any
 // asynchronous execution is fully determined by the order in which queued
 // messages are delivered, so the adversary is a Scheduler that repeatedly
 // picks the next channel to deliver from. Per-channel FIFO order is always
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"coleader/internal/fault"
 	"coleader/internal/node"
 	"coleader/internal/pulse"
 	"coleader/internal/ring"
@@ -146,6 +149,12 @@ type Sim[M any] struct {
 	scratch []int // reusable deliverable buffer
 	em      emitter[M]
 	failed  error
+
+	// Fault plane (nil on model-exact runs). crashed nodes consume
+	// nothing; initSnap holds pre-Init Undoable snapshots for restarts.
+	plane    *fault.Plane
+	crashed  []bool
+	initSnap [][]byte
 }
 
 type entry[M any] struct {
@@ -327,6 +336,7 @@ func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, op
 		peerCh:   make([]int, 2*n),
 		deliv:    make(bitset, (2*n+63)/64),
 		heapSeq:  make([]uint64, 2*n),
+		crashed:  make([]bool, n),
 	}
 	for k := 0; k < n; k++ {
 		for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
@@ -344,6 +354,9 @@ func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, op
 	s.em.s = s
 	for _, o := range opts {
 		o(s)
+	}
+	if s.plane != nil {
+		s.captureInitialSnapshots()
 	}
 	return s, nil
 }
@@ -398,20 +411,16 @@ func (s *Sim[M]) flushSends(from int, ev *Event) error {
 				return fmt.Errorf("%w: node %d sent %s toward node %d",
 					ErrPostTerminationSend, from, want, to.Node)
 			}
-			s.seq++
 			c := s.peerCh[out]
-			s.queues[c].push(entry[M]{seq: s.seq, msg: ps.msg})
-			s.sent++
-			if want == pulse.CW {
-				s.sentCW++
-			} else {
-				s.sentCCW++
+			if s.plane != nil {
+				switch s.plane.OnSend(s.step, c) {
+				case fault.Loss:
+					continue // vanished in transit; never reaches the queue
+				case fault.Dup:
+					s.enqueue(c, ps.msg, want)
+				}
 			}
-			if s.queues[c].n == 1 {
-				// Empty -> non-empty is the only enqueue transition that
-				// can change deliverability.
-				s.refreshChan(c)
-			}
+			s.enqueue(c, ps.msg, want)
 			if ev != nil {
 				ev.Sends = append(ev.Sends, SendRec{From: from, Port: ps.port, Dir: want, To: to})
 			}
@@ -421,12 +430,33 @@ func (s *Sim[M]) flushSends(from int, ev *Event) error {
 	return nil
 }
 
+// enqueue places one message on channel c traveling dir, assigning the next
+// global sequence number and maintaining the counters and the deliverable
+// set. It is the single point where messages enter the wire: handler
+// emissions, duplicated pulses, and spurious injections all land here, so
+// Sent and InFlight count adversarial traffic too.
+func (s *Sim[M]) enqueue(c int, msg M, dir pulse.Direction) {
+	s.seq++
+	s.queues[c].push(entry[M]{seq: s.seq, msg: msg})
+	s.sent++
+	if dir == pulse.CW {
+		s.sentCW++
+	} else {
+		s.sentCCW++
+	}
+	if s.queues[c].n == 1 {
+		// Empty -> non-empty is the only enqueue transition that can
+		// change deliverability.
+		s.refreshChan(c)
+	}
+}
+
 // refreshChan recomputes channel c's bit in the deliverable set and, when
 // deliverable, registers its current head in the oldest-message heap.
 func (s *Sim[M]) refreshChan(c int) {
 	k := ChanNode(c)
 	was := s.deliv.get(c)
-	if s.queues[c].n > 0 && s.inited[k] && s.termAt[k] == 0 && s.machines[k].Ready(ChanPort(c)) {
+	if s.queues[c].n > 0 && s.inited[k] && s.termAt[k] == 0 && !s.crashed[k] && s.machines[k].Ready(ChanPort(c)) {
 		if !was {
 			s.deliv.set(c)
 			s.delivCount++
@@ -495,6 +525,11 @@ func (s *Sim[M]) InitNode(k int) error {
 	if err := s.afterHandler(k, ev); err != nil {
 		return s.fail(err)
 	}
+	if s.plane != nil {
+		if err := s.applyNodeFault(k); err != nil {
+			return s.fail(err)
+		}
+	}
 	return nil
 }
 
@@ -515,7 +550,7 @@ func (s *Sim[M]) deliverableRescan(dst []int) []int {
 			continue
 		}
 		k := ChanNode(c)
-		if !s.inited[k] || s.termAt[k] != 0 {
+		if !s.inited[k] || s.termAt[k] != 0 || s.crashed[k] {
 			continue
 		}
 		if !s.machines[k].Ready(ChanPort(c)) {
@@ -553,6 +588,8 @@ func (s *Sim[M]) Deliver(c int) error {
 		return fmt.Errorf("sim: deliver to uninitialized node %d", k)
 	case s.termAt[k] != 0:
 		return s.fail(fmt.Errorf("%w: delivery attempted to node %d", ErrPostTerminationSend, k))
+	case s.crashed[k]:
+		return fmt.Errorf("sim: deliver to crashed node %d", k)
 	case !s.machines[k].Ready(p):
 		return fmt.Errorf("sim: deliver on non-ready port %s of node %d", p, k)
 	}
@@ -570,6 +607,11 @@ func (s *Sim[M]) Deliver(c int) error {
 	}
 	if err := s.afterHandler(k, ev); err != nil {
 		return s.fail(err)
+	}
+	if s.plane != nil {
+		if err := s.applyFaults(c, k); err != nil {
+			return s.fail(err)
+		}
 	}
 	return nil
 }

@@ -147,7 +147,7 @@ func (c config) scheduler() (sim.Scheduler, error) {
 	case SchedCWFirst:
 		return sim.DirBiased{Prefer: pulse.CW}, nil
 	case SchedFlaky:
-		return sim.NewFlaky(c.seed), nil
+		return sim.NewLaggy(c.seed), nil
 	case SchedHashDelay:
 		return sim.NewHashDelay(c.seed), nil
 	default:
