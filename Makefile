@@ -18,18 +18,33 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs oblint over the whole module; it must exit 0. The second
-# invocation proves the analyzer itself is alive by requiring a nonzero
-# exit on a known-violating fixture package.
+# lint runs oblint over the whole module; it must exit 0. The follow-up
+# invocations prove the analyzer itself is alive by requiring a nonzero
+# exit from the named check on each known-violating fixture package
+# (fixture:check pairs; xblock exercises the cross-package call graph).
 lint:
 	$(GO) run ./cmd/oblint ./...
-	@if $(GO) run ./cmd/oblint internal/lint/testdata/src/fixt/det >/dev/null 2>&1; then \
-		echo "oblint failed to flag the violation fixtures"; exit 1; \
-	fi
+	@for fc in \
+		det:det-time \
+		statesnap:state-snapshot \
+		staterestore:state-restore \
+		staterestore:state-skew \
+		statekey:state-key \
+		xblock:handler-block; do \
+		dir=internal/lint/testdata/src/fixt/$${fc%%:*}; chk=$${fc##*:}; \
+		if $(GO) run ./cmd/oblint -check $$chk $$dir >/dev/null 2>&1; then \
+			echo "oblint failed to flag $$dir under $$chk"; exit 1; \
+		fi; \
+	done
 
 # lint-bench times a cold oblint run (fresh cache: full source
 # type-checking) against a warm one (content-hash cache replay) on a
-# prebuilt binary, and proves the two produce byte-identical findings.
+# prebuilt binary, proves the two produce byte-identical findings, and
+# records both wall times as a benchmark family in BENCH_sim.json so the
+# analyzer's own performance is ratcheted like the simulator's. Override
+# the entry label for CI comparison runs:
+#   make lint-bench LINT_BENCH_LABEL=lint-ci
+LINT_BENCH_LABEL ?= lint
 lint-bench:
 	@mkdir -p bin
 	$(GO) build -o bin/oblint ./cmd/oblint
@@ -40,9 +55,13 @@ lint-bench:
 	./bin/oblint -cache-dir .oblint-bench-cache -cache-stats -json ./... > .oblint-bench-warm.json; \
 	t2=$$(date +%s%N); \
 	echo "cold (cache empty): $$(( (t1 - t0) / 1000000 )) ms"; \
-	echo "warm (cache full):  $$(( (t2 - t1) / 1000000 )) ms"
+	echo "warm (cache full):  $$(( (t2 - t1) / 1000000 )) ms"; \
+	printf 'BenchmarkOblintColdModule 1 %d ns/op\nBenchmarkOblintWarmModule 1 %d ns/op\n' \
+		$$(( t1 - t0 )) $$(( t2 - t1 )) > .oblint-bench-times.txt
 	@cmp .oblint-bench-cold.json .oblint-bench-warm.json && echo "cold and warm findings are byte-identical"
-	@rm -rf .oblint-bench-cache .oblint-bench-cold.json .oblint-bench-warm.json
+	$(GO) run ./cmd/benchjson -in .oblint-bench-times.txt -out BENCH_sim.json \
+		-label "$(LINT_BENCH_LABEL)" -note "oblint whole-module wall time"
+	@rm -rf .oblint-bench-cache .oblint-bench-cold.json .oblint-bench-warm.json .oblint-bench-times.txt
 
 build:
 	$(GO) build ./...

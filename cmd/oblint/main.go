@@ -1,9 +1,11 @@
 // Command oblint is the model-invariant static analyzer for this
 // repository. It mechanically enforces the discipline the paper's results
-// rest on — content-obliviousness (including payload-taint tracking),
-// determinism, layering, atomic hygiene, and non-blocking handlers —
-// across every package in the module. See internal/lint for the checks
-// and DESIGN.md ("Enforced model invariants") for the policy.
+// rest on — content-obliviousness (with payload taint followed across
+// function and package boundaries), determinism, layering, atomic
+// hygiene, non-blocking handlers, and machine state-encoding integrity
+// (the state-* snapshot/restore/key field-parity family) — across every
+// package in the module. See internal/lint for the checks and DESIGN.md
+// ("Enforced model invariants") for the policy.
 //
 // Usage:
 //
@@ -15,8 +17,15 @@
 //
 // Whole-module runs go through a content-hash analysis cache (disable with
 // -cache=false, relocate with -cache-dir): a warm run replays per-package
-// verdicts without type-checking anything and finishes in well under a
-// second. Explicit package arguments always run uncached.
+// verdicts without type-checking anything and finishes in tens of
+// milliseconds. The per-package keys cover the transitive module-internal
+// import closure, which also keys the interprocedural facts (call graph,
+// taint, state coverage) soundly. Explicit package arguments always run
+// uncached.
+//
+// -json output carries a schemaVersion field and findings sorted by
+// (file, line, check), so two runs over the same tree are byte-identical
+// and snapshots diff stably in CI.
 //
 // Exit status: 0 when clean, 1 when findings exist (with -baseline: when
 // NEW findings exist), 2 on load errors. Suppressed findings
@@ -139,7 +148,7 @@ func main() {
 				pkgs = append(pkgs, p)
 			}
 		}
-		runner := &lint.Runner{Config: cfg, Fset: loader.Fset}
+		runner := &lint.Runner{Config: cfg, Fset: loader.Fset, Resolve: loader.Load}
 		res = runner.Run(pkgs)
 		for _, p := range pkgs {
 			for _, e := range p.TypeErrors {
@@ -155,6 +164,7 @@ func main() {
 	}
 
 	rel := relativize(res, root)
+	rel.SchemaVersion = lint.FindingsSchemaVersion
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

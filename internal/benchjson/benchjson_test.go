@@ -146,3 +146,35 @@ func TestRegressions(t *testing.T) {
 		t.Errorf("huge threshold still flagged %q", got)
 	}
 }
+
+// TestRegressionsEdgeCases pins the comparison's skip rules: a
+// zero-valued or absent baseline metric can never regress (growth is
+// undefined against a zero base), benchmarks present in only one run are
+// not regressions, and duplicate-name occurrences beyond the baseline's
+// multiset count have no partner and are skipped rather than mispaired.
+func TestRegressionsEdgeCases(t *testing.T) {
+	old := Entry{Results: []Result{
+		{Name: "Zero", Metrics: map[string]float64{"ns/op": 0}},
+		{Name: "NoMetric", Metrics: map[string]float64{"B/op": 8}}, // ns/op absent
+		{Name: "Removed", Metrics: map[string]float64{"ns/op": 5}},
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	cur := Entry{Results: []Result{
+		{Name: "Zero", Metrics: map[string]float64{"ns/op": 1e9}},
+		{Name: "NoMetric", Metrics: map[string]float64{"ns/op": 1e9}},
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 11}},  // +10%: fine
+		{Name: "Dup", Metrics: map[string]float64{"ns/op": 1e9}}, // second occurrence: no baseline partner
+		{Name: "Added", Metrics: map[string]float64{"ns/op": 1e9}},
+	}}
+	if got := Regressions(old, cur, 50, []string{"ns/op"}); len(got) != 0 {
+		t.Errorf("skip rules violated, flagged %q", got)
+	}
+
+	// A metric that vanishes in the new run scores -100% growth and must
+	// not be flagged even at a near-zero threshold.
+	old2 := Entry{Results: []Result{{Name: "A", Metrics: map[string]float64{"ns/op": 100}}}}
+	cur2 := Entry{Results: []Result{{Name: "A", Metrics: map[string]float64{"B/op": 1}}}}
+	if got := Regressions(old2, cur2, 0.01, []string{"ns/op"}); len(got) != 0 {
+		t.Errorf("vanished metric flagged as regression: %q", got)
+	}
+}

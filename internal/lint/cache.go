@@ -2,10 +2,13 @@ package lint
 
 // Analysis cache. A cold oblint run type-checks the module and the stdlib
 // packages it imports from source (3-4 s); nothing in that cost changes
-// between runs unless source changes. Because every check is per-package
-// (Runner.RunPackage) and depends only on the package's own syntax plus
-// the types of its module-internal imports, a package's verdict can be
-// keyed by content hashes and replayed without loading anything:
+// between runs unless source changes. Every check is per-package
+// (Runner.RunPackage), and even the interprocedural ones (handler-block,
+// oblivious-taint, state-*) depend only on the package's own syntax plus
+// the sources of its transitive module-internal imports — Go forbids
+// import cycles, so a call chain from package P can only reach bodies in
+// P's import closure. A package's verdict can therefore be keyed by
+// content hashes and replayed without loading anything:
 //
 //	key(P) = H(format version ‖ Go version ‖ policy JSON ‖ analyzer
 //	          sources ‖ for every package in P's transitive
@@ -15,9 +18,15 @@ package lint
 // invalidates on any Config edit, and the analyzer-source term (the
 // internal/lint and cmd/oblint file hashes, which the module scan already
 // computed) invalidates every entry when the checks themselves change —
-// the classic staleness bug of finding caches. Computing the keys needs
-// only an imports-only parse of each file, so a fully warm run does no
-// type-checking at all and finishes in tens of milliseconds.
+// the classic staleness bug of finding caches. The closure term doubles as
+// the cross-package dependency digest for the interprocedural facts: an
+// edit to any body a chain could reach changes some file hash in the
+// closure and re-keys the verdict. Each entry also records that digest
+// (DepsDigest) and the closure it covered, purely for observability —
+// `jq .depsDigest` on two entries answers "did a dependency change?"
+// without re-deriving keys. Computing the keys needs only an imports-only
+// parse of each file, so a fully warm run does no type-checking at all and
+// finishes in tens of milliseconds.
 //
 // Entries store module-root-relative paths and are rehydrated to absolute
 // on read, so cached and fresh findings are byte-identical downstream.
@@ -37,8 +46,9 @@ import (
 )
 
 // cacheFormatVersion salts every key; bump it when the entry schema or key
-// derivation changes.
-const cacheFormatVersion = "oblint-cache-v1"
+// derivation changes. v2: interprocedural engine (module-wide call graph),
+// state-* check family, DepsDigest observability fields.
+const cacheFormatVersion = "oblint-cache-v2"
 
 // CacheStats reports how a cached run split between replay and analysis.
 type CacheStats struct {
@@ -47,11 +57,15 @@ type CacheStats struct {
 }
 
 // cacheEntry is one package's stored verdict. File paths are relative to
-// the module root.
+// the module root. Deps and DepsDigest restate the closure term already
+// folded into the entry's key — they never influence replay, but make
+// stale-entry investigations answerable from the cache dir alone.
 type cacheEntry struct {
 	Findings   []Finding `json:"findings"`
 	Suppressed []Finding `json:"suppressed,omitempty"`
 	TypeErrors []string  `json:"type_errors,omitempty"`
+	Deps       []string  `json:"deps,omitempty"`
+	DepsDigest string    `json:"depsDigest,omitempty"`
 }
 
 // scanPkg is one module package as seen by the cheap (imports-only) scan.
@@ -165,6 +179,17 @@ func pkgKey(pkgs map[string]*scanPkg, salt, path string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// depsDigest hashes the file hashes of a package's closure minus the
+// run-wide salt: the cross-package dependency term of its key, stored in
+// entries for observability.
+func depsDigest(pkgs map[string]*scanPkg, deps []string) string {
+	h := sha256.New()
+	for _, ip := range deps {
+		fmt.Fprintf(h, "%s\x00%s\x00", ip, pkgs[ip].fileHash)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // RunCached lints every package of the module rooted at root under cfg,
 // replaying cached per-package verdicts for packages whose transitive
 // sources are unchanged and analyzing only the rest. It returns the merged
@@ -200,16 +225,21 @@ func RunCached(root, module string, cfg Config, cacheDir string) (Result, []stri
 		stats.Misses++
 		if loader == nil {
 			loader = NewLoader(root, module)
-			runner = &Runner{Config: cfg, Fset: loader.Fset}
+			// The interprocedural checks resolve call chains through the
+			// same loader, so type objects are shared across packages.
+			runner = &Runner{Config: cfg, Fset: loader.Fset, Resolve: loader.Load}
 		}
 		p, err := loader.Load(ip)
 		if err != nil {
 			return Result{}, nil, stats, fmt.Errorf("load %s: %w", ip, err)
 		}
 		pr := runner.RunPackage(p)
+		deps := closure(pkgs, ip)
 		ent := cacheEntry{
 			Findings:   relativizeFindings(pr.Findings, root),
 			Suppressed: relativizeFindings(pr.Suppressed, root),
+			Deps:       deps,
+			DepsDigest: depsDigest(pkgs, deps),
 		}
 		for _, e := range p.TypeErrors {
 			ent.TypeErrors = append(ent.TypeErrors, fmt.Sprintf("typecheck %s: %v", ip, e))

@@ -1,0 +1,125 @@
+package lint
+
+// Whole-module interprocedural core. Checks that follow calls (handler-
+// block, oblivious-taint, the state-* family) used to stop at the package
+// boundary; moduleGraph lets them resolve a *types.Func to its declaration
+// anywhere in the module and keep walking.
+//
+// Resolution is lazy and memoized: a package is indexed the first time a
+// check (or a call chain) reaches it, through Runner.Resolve — normally the
+// Loader that type-checked the analyzed package, so every *types.Func
+// object is shared and map lookups are pointer-identity. Paths Resolve
+// cannot handle (the stdlib, vendored trees) are negative-cached and simply
+// end the chain, which is the usual soundness trade of a static call graph.
+//
+// Cache soundness (cache.go): Go forbids import cycles, so every function a
+// package's analysis can reach through this graph lives in the package's
+// transitive import closure — exactly the set of sources pkgKey already
+// hashes. Interprocedural facts therefore invalidate with their inputs and
+// per-package verdicts stay cacheable.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fnDecl is a declared function or method together with the package whose
+// type info covers its body.
+type fnDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// moduleGraph is the lazily built module-wide function index shared by all
+// interprocedural checks of one Runner.
+type moduleGraph struct {
+	r *Runner
+
+	// pkgs memoizes package resolution; nil marks a path Resolve cannot
+	// load (stdlib, missing), so chains end there without retrying.
+	pkgs map[string]*Package
+
+	// decls indexes, per resolved package, every function/method with a
+	// body by its *types.Func object.
+	decls map[string]map[*types.Func]*fnDecl
+
+	// facts memoizes per-function blocking facts (handler-block).
+	facts map[*types.Func]*fnFacts
+
+	// state memoizes per-package state-coverage findings (statecoverage.go),
+	// computed once and filtered per check name.
+	state map[string][]stateFinding
+}
+
+// module returns the Runner's graph, creating it on first use.
+func (r *Runner) module() *moduleGraph {
+	if r.graph == nil {
+		r.graph = &moduleGraph{
+			r:     r,
+			pkgs:  make(map[string]*Package),
+			decls: make(map[string]map[*types.Func]*fnDecl),
+			facts: make(map[*types.Func]*fnFacts),
+			state: make(map[string][]stateFinding),
+		}
+	}
+	return r.graph
+}
+
+// add indexes an already-loaded package (idempotent). The package under
+// analysis is always added directly, so it resolves even when Runner.Resolve
+// is unset.
+func (g *moduleGraph) add(p *Package) {
+	if p == nil {
+		return
+	}
+	if _, ok := g.decls[p.Path]; ok {
+		return
+	}
+	g.pkgs[p.Path] = p
+	idx := make(map[*types.Func]*fnDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = &fnDecl{pkg: p, decl: fd}
+			}
+		}
+	}
+	g.decls[p.Path] = idx
+}
+
+// resolve loads and indexes the package at an import path, or returns nil
+// (memoized) when the path is outside the resolver's reach.
+func (g *moduleGraph) resolve(path string) *Package {
+	if p, ok := g.pkgs[path]; ok {
+		return p
+	}
+	var p *Package
+	if g.r.Resolve != nil {
+		if rp, err := g.r.Resolve(path); err == nil {
+			p = rp
+		}
+	}
+	g.pkgs[path] = p
+	g.add(p)
+	return p
+}
+
+// declOf resolves a function object to its declaration anywhere in the
+// module, or nil (stdlib, interface methods, unresolvable packages).
+func (g *moduleGraph) declOf(fn *types.Func) *fnDecl {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if _, ok := g.decls[path]; !ok {
+		g.resolve(path)
+		if _, ok := g.decls[path]; !ok {
+			g.decls[path] = nil
+		}
+	}
+	return g.decls[path][fn]
+}

@@ -9,9 +9,9 @@ package lint
 // live it deadlocks the node. The model's asynchrony lives in the network,
 // never in the handler.
 //
-// The check builds the intra-package static call graph and flags every
-// blocking operation reachable from a handler method (Init or OnMsg) of a
-// configured handler package:
+// The check walks the module-wide static call graph (callgraph.go) from
+// every handler root and flags each blocking operation reachable along it,
+// including operations inside helpers declared in other packages:
 //
 //   - channel send and receive (any channel: even a buffered operation
 //     blocks when the buffer is full or empty, so handlers get none);
@@ -19,11 +19,17 @@ package lint
 //   - sync.Mutex.Lock, sync.RWMutex.Lock/RLock, sync.WaitGroup.Wait,
 //     sync.Cond.Wait.
 //
+// A root is an Init or OnMsg method of a Config.HandlerPkgs package, or of
+// any machine-shaped type — one whose OnMsg takes an instantiation of
+// Config.EmitterType — so a new machine package is covered the moment it
+// exists, registered or not.
+//
 // Operations inside a `go` statement's function literal are exempt — the
 // spawned goroutine may block, the handler does not — but the statement's
 // argument expressions are still evaluated synchronously and stay checked.
-// Calls through interfaces are not resolved (no instantiation analysis),
-// which is the usual soundness trade of a static call graph.
+// Calls through interfaces and func values are not resolved (no
+// instantiation analysis), which is the usual soundness trade of a static
+// call graph.
 
 import (
 	"fmt"
@@ -40,7 +46,7 @@ type blockingOp struct {
 }
 
 // fnFacts records, per declared function/method, its direct blocking
-// operations and its direct in-package callees.
+// operations and its direct resolvable callees.
 type fnFacts struct {
 	decl    *ast.FuncDecl
 	obj     *types.Func
@@ -48,27 +54,43 @@ type fnFacts struct {
 	callees []*types.Func
 }
 
-func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, string)) {
-	if !matchPath(p.Path, r.Config.HandlerPkgs) {
-		return
+// factsOf computes (memoized) the blocking facts of a function anywhere in
+// the module, or nil when its body is out of reach.
+func (g *moduleGraph) factsOf(fn *types.Func) *fnFacts {
+	if ff, ok := g.facts[fn]; ok {
+		return ff
 	}
+	d := g.declOf(fn)
+	if d == nil {
+		g.facts[fn] = nil
+		return nil
+	}
+	ff := &fnFacts{decl: d.decl, obj: fn}
+	g.facts[fn] = ff // pre-memo so recursive call chains terminate
+	collectBlocking(d.pkg, d.decl.Body, ff)
+	return ff
+}
 
-	facts := make(map[*types.Func]*fnFacts)
+func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, string)) {
+	g := r.module()
+	g.add(p)
+
+	handlerPkg := matchPath(p.Path, r.Config.HandlerPkgs)
 	var roots []*types.Func
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if fd.Name.Name != "Init" && fd.Name.Name != "OnMsg" {
 				continue
 			}
 			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
 			if !ok {
 				continue
 			}
-			ff := &fnFacts{decl: fd, obj: obj}
-			collectBlocking(p, fd.Body, ff)
-			facts[obj] = ff
-			if fd.Recv != nil && (fd.Name.Name == "Init" || fd.Name.Name == "OnMsg") {
+			if handlerPkg || machineShaped(r, obj) {
 				roots = append(roots, obj)
 			}
 		}
@@ -78,9 +100,9 @@ func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, str
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
 
-	// Reachability from each handler root over the static call graph; an
-	// op is reported once, attributed to the first (alphabetical) handler
-	// that reaches it so output stays deterministic.
+	// Reachability from each handler root over the module-wide call graph;
+	// an op is reported once per analyzed package, attributed to the first
+	// (alphabetical) handler that reaches it so output stays deterministic.
 	reported := make(map[token.Pos]bool)
 	for _, root := range roots {
 		seen := make(map[*types.Func]bool)
@@ -90,7 +112,7 @@ func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, str
 				return
 			}
 			seen[fn] = true
-			ff := facts[fn]
+			ff := g.factsOf(fn)
 			if ff == nil {
 				return
 			}
@@ -111,8 +133,51 @@ func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, str
 	}
 }
 
+// machineShaped reports whether fn is a handler method of a type whose
+// OnMsg takes an instantiation of Config.EmitterType — the signature every
+// node.Machine implementation shares.
+func machineShaped(r *Runner, fn *types.Func) bool {
+	want := r.Config.EmitterType
+	if want == "" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	onMsg := lookupMethod(sig.Recv().Type(), "OnMsg")
+	if onMsg == nil {
+		return false
+	}
+	msig, ok := onMsg.Type().(*types.Signature)
+	if !ok || msig.Params().Len() == 0 {
+		return false
+	}
+	last := msig.Params().At(msig.Params().Len() - 1).Type()
+	return namedPath(last) == want
+}
+
+// lookupMethod finds a method in t's method set (through embedding), or nil.
+func lookupMethod(t types.Type, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// namedPath renders a (possibly aliased or instantiated) named type as
+// "import/path.Name", or "" for unnamed types. Instantiations report their
+// generic origin, so node.Emitter[pulse.Pulse] matches
+// "coleader/internal/node.Emitter".
+func namedPath(t types.Type) string {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
 // collectBlocking walks a function body recording direct blocking
-// operations and direct in-package callees. Function literals are treated
+// operations and direct resolvable callees. Function literals are treated
 // as part of the enclosing body (they may run synchronously) except when
 // they are the function of a `go` statement.
 func collectBlocking(p *Package, body ast.Node, ff *fnFacts) {
@@ -162,7 +227,9 @@ func collectBlocking(p *Package, body ast.Node, ff *fnFacts) {
 			if fn := calleeFunc(p, n.Fun); fn != nil {
 				if desc := blockingSyncCall(fn); desc != "" {
 					ff.ops = append(ff.ops, blockingOp{n.Pos(), desc})
-				} else if fn.Pkg() == p.Types {
+				} else if fn.Pkg() != nil {
+					// Resolution to a body happens lazily in factsOf; an
+					// unresolvable callee (stdlib) just ends the chain.
 					ff.callees = append(ff.callees, fn)
 				}
 			}

@@ -23,6 +23,10 @@ const (
 	CheckAtomicMixed      = "atomic-mixed"
 	CheckAtomicCopy       = "atomic-copy"
 	CheckHandlerBlock     = "handler-block"
+	CheckStateSnapshot    = "state-snapshot"
+	CheckStateRestore     = "state-restore"
+	CheckStateKey         = "state-key"
+	CheckStateSkew        = "state-skew"
 )
 
 // AllChecks lists every check name, in report order.
@@ -33,6 +37,7 @@ func AllChecks() []string {
 		CheckDetTime, CheckDetGlobalRand, CheckDetMapRange,
 		CheckLayerDAG, CheckAtomicMixed, CheckAtomicCopy,
 		CheckHandlerBlock,
+		CheckStateSnapshot, CheckStateRestore, CheckStateKey, CheckStateSkew,
 	}
 }
 
@@ -50,6 +55,10 @@ var checkDocs = map[string]string{
 	CheckAtomicMixed:      "a field accessed via sync/atomic anywhere must be accessed that way everywhere",
 	CheckAtomicCopy:       "atomic.Int64-style values must never be copied by value (a copy races with concurrent updates)",
 	CheckHandlerBlock:     "event handlers run by internal/sim and internal/live must not reach blocking operations",
+	CheckStateSnapshot:    "every field a machine's handlers write must be encoded by SnapshotTo (an omitted field makes undo exploration resurrect stale state)",
+	CheckStateRestore:     "every field a machine's handlers write must be reset by Restore (an omitted field leaks state across explorer branches)",
+	CheckStateKey:         "every field a machine's handlers write must enter AppendStateKey/StateKey (an omitted field merges distinct states in the memo table)",
+	CheckStateSkew:        "Restore may only write fields SnapshotTo encodes (layout skew between the two desynchronizes snapshot and restore)",
 }
 
 // CheckDoc returns the one-line invariant a check enforces ("" if unknown).
@@ -92,6 +101,13 @@ type Config struct {
 	// reachable inside them would deadlock the runtime.
 	HandlerPkgs []string
 
+	// EmitterType is the fully qualified generic emitter interface handed
+	// to handlers, e.g. "coleader/internal/node.Emitter". Any type whose
+	// OnMsg method takes an instantiation of it is machine-shaped: its
+	// handlers are treated as handler-block roots even outside HandlerPkgs,
+	// so new machine packages are covered before anyone registers them.
+	EmitterType string
+
 	// MapRangePkgs are packages whose replays must be deterministic, so
 	// ranging over a map (randomized iteration order) is flagged.
 	MapRangePkgs []string
@@ -114,6 +130,12 @@ type Config struct {
 	Checks []string
 }
 
+// FindingsSchemaVersion identifies the JSON shape of Result as emitted by
+// cmd/oblint -json (fields, check names, sort order). Bump it whenever a
+// change would make two otherwise-equal trees produce different bytes, so
+// CI artifact diffs compare like with like.
+const FindingsSchemaVersion = 2
+
 // Finding is one rule violation at a source position.
 type Finding struct {
 	Check      string `json:"check"`
@@ -133,6 +155,11 @@ func (f Finding) String() string {
 // suppressed ones (silenced by //oblint:allow directives) are reported for
 // tracking but do not fail.
 type Result struct {
+	// SchemaVersion is FindingsSchemaVersion when emitted by cmd/oblint
+	// -json; zero (omitted) inside the analyzer, and tolerated as zero when
+	// reading baselines written before the field existed.
+	SchemaVersion int `json:"schemaVersion,omitempty"`
+
 	Findings   []Finding `json:"findings"`
 	Suppressed []Finding `json:"suppressed,omitempty"`
 }
@@ -141,6 +168,15 @@ type Result struct {
 type Runner struct {
 	Config Config
 	Fset   *token.FileSet
+
+	// Resolve loads the package at an import path for the interprocedural
+	// checks; wire it to the Loader that loaded the analyzed packages
+	// (loader.Load) so type objects are shared. When nil, call chains end
+	// at the boundary of the packages passed to Run, which weakens the
+	// interprocedural checks but never breaks the per-package ones.
+	Resolve func(path string) (*Package, error)
+
+	graph *moduleGraph
 }
 
 type checkFn func(r *Runner, p *Package, report func(pos token.Pos, check, msg string))
@@ -176,6 +212,10 @@ var allCheckFns = []struct {
 	{CheckAtomicMixed, checkAtomicMixed},
 	{CheckAtomicCopy, checkAtomicCopy},
 	{CheckHandlerBlock, checkHandlerBlock},
+	{CheckStateSnapshot, checkStateSnapshot},
+	{CheckStateRestore, checkStateRestore},
+	{CheckStateKey, checkStateKey},
+	{CheckStateSkew, checkStateSkew},
 }
 
 // Run applies every enabled check to every package and splits the findings
@@ -235,7 +275,14 @@ func sortFindings(fs []Finding) {
 		if fs[i].Col != fs[j].Col {
 			return fs[i].Col < fs[j].Col
 		}
-		return fs[i].Check < fs[j].Check
+		if fs[i].Check != fs[j].Check {
+			return fs[i].Check < fs[j].Check
+		}
+		// Msg is the final tiebreak so the order is total: two different
+		// findings can share a position and a check (e.g. two state-* gaps
+		// reported at one field), and CI diffs cmd/oblint -json output
+		// byte-for-byte.
+		return fs[i].Msg < fs[j].Msg
 	})
 }
 

@@ -32,7 +32,7 @@ func TestRepoClean(t *testing.T) {
 			t.Errorf("typecheck %s: %v", p.Path, e)
 		}
 	}
-	runner := &lint.Runner{Config: lint.DefaultConfig(), Fset: l.Fset}
+	runner := &lint.Runner{Config: lint.DefaultConfig(), Fset: l.Fset, Resolve: l.Load}
 	res := runner.Run(pkgs)
 	for _, f := range res.Findings {
 		t.Errorf("finding: %s", f)
@@ -124,8 +124,8 @@ func TestAllChecksDistinct(t *testing.T) {
 		}
 		seen[c] = true
 	}
-	if len(seen) != 11 {
-		t.Errorf("expected 11 checks, got %d", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("expected 15 checks, got %d", len(seen))
 	}
 	for _, c := range lint.AllChecks() {
 		if lint.CheckDoc(c) == "" {

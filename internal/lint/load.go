@@ -6,20 +6,34 @@
 // standard library only (go/parser, go/ast, go/types), so it runs offline
 // with no external dependencies.
 //
-// Four families of checks are implemented:
+// Six families of checks are implemented:
 //
 //   - content-obliviousness (oblivious-import, oblivious-chan,
-//     oblivious-payload): the oblivious packages may not import
-//     content-carrying packages, may not declare non-pulse channels, and
-//     pulse handlers may not inspect a message payload.
+//     oblivious-payload, oblivious-taint): the oblivious packages may not
+//     import content-carrying packages, may not declare non-pulse
+//     channels, pulse handlers may not inspect a message payload, and no
+//     branch anywhere reachable from an oblivious package may depend on a
+//     value derived from one — the taint analysis follows payloads across
+//     function and package boundaries.
 //   - determinism (det-time, det-globalrand, det-maprange): no wall-clock
 //     calls outside the live runtime and cmd/, no global math/rand
 //     functions anywhere (randomness must be injected and seeded), and no
 //     map iteration in replay-deterministic packages.
 //   - layering (layer-dag): the intended import DAG is encoded as data;
 //     unregistered packages and back-edges fail.
-//   - concurrency hygiene (atomic-mixed): a field accessed through
-//     sync/atomic anywhere must be accessed that way everywhere.
+//   - concurrency hygiene (atomic-mixed, atomic-copy): a field accessed
+//     through sync/atomic anywhere must be accessed that way everywhere,
+//     and atomic wrapper values must not be copied.
+//   - handler discipline (handler-block): no blocking operation reachable
+//     from an Init/OnMsg handler over the module-wide call graph.
+//   - state integrity (state-snapshot, state-restore, state-key,
+//     state-skew): every field a machine's handlers write must round-trip
+//     through its SnapshotTo/Restore and state-key encodings; see
+//     statecoverage.go.
+//
+// The interprocedural checks resolve call chains through Runner.Resolve,
+// a callback into the Loader, so the module-wide graph shares one set of
+// go/types objects with the analyzed packages.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line above: //oblint:allow <check> [<check>...]. Suppressed findings

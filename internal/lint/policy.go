@@ -101,5 +101,10 @@ func DefaultConfig() Config {
 		HandlerPkgs: []string{
 			i("core"), i("defective"), i("lowerbound"), i("baseline"),
 		},
+
+		// Any type whose OnMsg takes a node.Emitter instantiation is
+		// machine-shaped and gets handler-block coverage even before its
+		// package is registered above.
+		EmitterType: i("node") + ".Emitter",
 	}
 }

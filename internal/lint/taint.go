@@ -3,43 +3,61 @@ package lint
 // oblivious-taint: a flow-sensitive complement to oblivious-payload. The
 // syntactic check catches a handler that branches on its payload parameter
 // directly; this one tracks values *derived* from a payload — through
-// assignments, composite literals, struct fields, function returns, and
-// closures — and flags any branch whose condition depends on one. Under
-// the paper's model a pulse carries zero information, so payload-dependent
-// control flow anywhere in an oblivious package is a soundness hole even
-// when the payload parameter itself never appears in a condition.
+// assignments, composite literals, struct fields, function returns,
+// closures, and (since the module-wide rewrite) call arguments crossing
+// function and package boundaries — and flags any branch whose condition
+// depends on one. Under the paper's model a pulse carries zero information,
+// so payload-dependent control flow anywhere reachable from an oblivious
+// package is a soundness hole even when the payload parameter itself never
+// appears in a condition.
 //
 // The analysis is a def-use fixed point over go/types objects, built on
 // the standard library only:
 //
+//   - scope: the analyzed oblivious package plus every module package it
+//     transitively imports (resolved through callgraph.go), so taint
+//     follows a payload handed to a helper in another package;
 //   - seeds: every named parameter of the pulse type in any function,
-//     method, or closure of an oblivious package;
+//     method, or closure of the analyzed package (the payload enters the
+//     module only through handler parameters);
 //   - propagation: an assignment (including := and tuple forms), variable
 //     declaration with initializer, or range clause whose source is
 //     tainted taints its targets; a keyed struct literal taints both the
 //     literal and the named field object; a function or closure returning
 //     a tainted value taints every call of it (a closure stored in a
-//     variable taints calls through that variable);
+//     variable taints calls through that variable); a call passing a
+//     tainted argument taints the callee's parameter object, and a method
+//     call on a tainted value taints the method's receiver object —
+//     parameter and receiver objects are shared with the callee's body
+//     under one Loader, so the taint is visible wherever the body is;
 //   - sinks: if/for conditions, switch tags and case expressions, and
-//     type-switch subjects.
+//     type-switch subjects — reported in the analyzed package always, and
+//     in scope packages that are not themselves oblivious (an oblivious
+//     dependency reports its own sinks when its turn comes, never twice).
 //
-// Taint is object-granular and monotone, so the fixed point terminates;
-// it is deliberately conservative (a variable once tainted stays tainted)
-// because in this model there is no legitimate way to launder a payload.
+// Taint is field-granular (a tainted assignment to s.f taints the field
+// object f, not the whole struct), branch-sensitive at the sink (every
+// condition, tag, and case expression is tested separately), and monotone,
+// so the fixed point terminates; it is deliberately conservative (a
+// variable once tainted stays tainted) because in this model there is no
+// legitimate way to launder a payload.
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
-// taintState is the monotone fact base of the fixed point.
+// taintState is the monotone fact base of the fixed point. p is the
+// package currently being walked (facts themselves are cross-package:
+// go/types objects are shared under one Loader).
 type taintState struct {
 	p *Package
 
 	// objs holds tainted variables: parameters, locals, struct fields,
-	// and package-level vars.
+	// receivers, and package-level vars.
 	objs map[types.Object]bool
 
 	// funcs holds callables whose call results are tainted: declared
@@ -81,6 +99,8 @@ func checkObliviousTaint(r *Runner, p *Package, report func(token.Pos, string, s
 	if !matchPath(p.Path, r.Config.Oblivious) {
 		return
 	}
+	g := r.module()
+	scope := taintScope(g, p)
 	st := &taintState{
 		p:     p,
 		objs:  make(map[types.Object]bool),
@@ -88,9 +108,11 @@ func checkObliviousTaint(r *Runner, p *Package, report func(token.Pos, string, s
 		lits:  make(map[*ast.FuncLit]bool),
 	}
 
-	// Seed: every named pulse-typed parameter in the package. The payload
-	// reaches an algorithm only as a parameter (handlers and the helpers
-	// they forward to), so parameters are the complete source set.
+	// Seed: every named pulse-typed parameter in the analyzed package. The
+	// payload reaches an algorithm only as a parameter (handlers and the
+	// helpers they forward to), so parameters are the complete source set;
+	// dependency packages pick up taint through call-argument propagation,
+	// never by seeding (their own pulse params are their own analysis).
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var params *ast.FieldList
@@ -118,40 +140,79 @@ func checkObliviousTaint(r *Runner, p *Package, report func(token.Pos, string, s
 	}
 
 	// Fixed point: propagate until no new object, function, or closure
-	// becomes tainted.
+	// becomes tainted, across every package in scope.
 	for {
 		st.changed = false
-		for _, f := range p.Files {
-			propagateTaint(st, f)
+		for _, sp := range scope {
+			st.p = sp
+			for _, f := range sp.Files {
+				propagateTaint(st, f)
+			}
 		}
 		if !st.changed {
 			break
 		}
 	}
 
-	// Sinks: payload-derived control flow.
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.IfStmt:
-				reportTaintedCond(st, n.Cond, report)
-			case *ast.ForStmt:
-				reportTaintedCond(st, n.Cond, report)
-			case *ast.SwitchStmt:
-				reportTaintedCond(st, n.Tag, report)
-				for _, cc := range caseExprs(n.Body) {
-					reportTaintedCond(st, cc, report)
-				}
-			case *ast.TypeSwitchStmt:
-				if a, ok := n.Assign.(*ast.ExprStmt); ok {
-					if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
-						reportTaintedCond(st, ta.X, report)
+	// Sinks: payload-derived control flow. Oblivious dependencies own
+	// their sinks (they are analyzed in their own right with their own
+	// seeds plus the shared object facts); skipping them here keeps each
+	// finding attributed to exactly one package.
+	for _, sp := range scope {
+		if sp != p && matchPath(sp.Path, r.Config.Oblivious) {
+			continue
+		}
+		st.p = sp
+		for _, f := range sp.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.IfStmt:
+					reportTaintedCond(st, n.Cond, report)
+				case *ast.ForStmt:
+					reportTaintedCond(st, n.Cond, report)
+				case *ast.SwitchStmt:
+					reportTaintedCond(st, n.Tag, report)
+					for _, cc := range caseExprs(n.Body) {
+						reportTaintedCond(st, cc, report)
+					}
+				case *ast.TypeSwitchStmt:
+					if a, ok := n.Assign.(*ast.ExprStmt); ok {
+						if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+							reportTaintedCond(st, ta.X, report)
+						}
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
+}
+
+// taintScope returns the analyzed package followed by its transitive
+// module-resolvable imports in deterministic (breadth-first, sorted)
+// order.
+func taintScope(g *moduleGraph, p *Package) []*Package {
+	g.add(p)
+	scope := []*Package{p}
+	seen := map[string]bool{p.Path: true}
+	for i := 0; i < len(scope); i++ {
+		imps := scope[i].Types.Imports()
+		paths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			paths = append(paths, imp.Path())
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			if dp := g.resolve(path); dp != nil {
+				scope = append(scope, dp)
+			}
+		}
+	}
+	return scope
 }
 
 func caseExprs(body *ast.BlockStmt) []ast.Expr {
@@ -201,6 +262,8 @@ func propagateTaint(st *taintState, f *ast.File) {
 				taintTarget(st, n.Key)
 				taintTarget(st, n.Value)
 			}
+		case *ast.CallExpr:
+			propagateCall(st, n)
 		case *ast.ReturnStmt:
 			if len(funcStack) > 0 && anyTainted(st, n.Results) {
 				taintEnclosing(st, funcStack[len(funcStack)-1])
@@ -218,6 +281,51 @@ func propagateTaint(st *taintState, f *ast.File) {
 		}
 	}
 	walk(f)
+}
+
+// propagateCall carries taint into a call: a tainted argument taints the
+// matching parameter object of the resolved callee (or closure literal),
+// and a tainted method-call base taints the receiver object. The objects
+// are the very ones the callee body's identifiers resolve to, so the fixed
+// point picks the taint up inside the body on the next pass — in whatever
+// package the body lives.
+func propagateCall(st *taintState, call *ast.CallExpr) {
+	if tv, ok := st.p.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return // conversions/builtins: handled by exprTainted pass-through
+	}
+	var sig *types.Signature
+	if fn := calleeFunc(st.p, call.Fun); fn != nil {
+		sig, _ = fn.Type().(*types.Signature)
+	} else if fl, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		if tv, ok := st.p.Info.Types[fl]; ok {
+			sig, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if sig == nil {
+		return
+	}
+	if recv := sig.Recv(); recv != nil {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && exprTainted(st, sel.X) {
+			st.taintObj(recv)
+		}
+	}
+	np := sig.Params().Len()
+	if np == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		if !exprTainted(st, arg) {
+			continue
+		}
+		pi := i
+		if pi >= np {
+			if !sig.Variadic() {
+				continue
+			}
+			pi = np - 1
+		}
+		st.taintObj(sig.Params().At(pi))
+	}
 }
 
 func taintEnclosing(st *taintState, fn ast.Node) {

@@ -1,0 +1,51 @@
+// Package statekey is a fixture with memo-key violations: handler-written
+// fields missing from the state key, on both the KeyAppender path
+// (AppendStateKey) and the CloneMachine/StateKey fallback path. Either
+// omission merges distinct global states in the exploration memo.
+package statekey
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Narrow keys only its round counter; votes mutations are invisible to
+// the memo.
+type Narrow struct {
+	round uint64
+	votes uint64 // want "field Narrow.votes is written by Init/OnMsg but never keyed by AppendStateKey"
+}
+
+func (n *Narrow) Init(e node.PulseEmitter) {}
+
+func (n *Narrow) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	n.round++
+	if p == pulse.Port1 {
+		n.votes++
+	}
+}
+
+func (n *Narrow) AppendStateKey(dst []byte) []byte { return node.AppendKey64(dst, n.round) }
+
+// Stale uses the CloneMachine/StateKey fallback; its string key omits the
+// phase field.
+type Stale struct {
+	phase uint64 // want "field Stale.phase is written by Init/OnMsg but never keyed by StateKey"
+	count uint64
+}
+
+func (s *Stale) Init(e node.PulseEmitter) { s.phase = 1 }
+
+func (s *Stale) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	s.phase++
+	s.count++
+}
+
+func (s *Stale) CloneMachine() *Stale {
+	c := *s
+	return &c
+}
+
+func (s *Stale) StateKey() string { return fmt.Sprintf("stale|%d", s.count) }

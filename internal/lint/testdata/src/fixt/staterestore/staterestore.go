@@ -1,0 +1,36 @@
+// Package staterestore is a fixture with restore-parity violations: one
+// handler-written field is snapshotted but never restored (its value
+// would leak across explorer branches), and Restore writes a field
+// SnapshotTo never encodes (snapshot/restore layout skew).
+package staterestore
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Skewed snapshots rounds and mode but restores rounds and legacy.
+type Skewed struct {
+	rounds uint64
+	mode   uint64 // want "field Skewed.mode is written by Init/OnMsg but never restored by Restore"
+	legacy uint64 // want "Restore writes field Skewed.legacy, which SnapshotTo never encodes"
+}
+
+func (s *Skewed) Init(e node.PulseEmitter) { s.mode = 1 }
+
+func (s *Skewed) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	s.rounds++
+	if s.mode == 1 {
+		e.Send(p.Opposite(), m)
+	}
+}
+
+func (s *Skewed) SnapshotTo(buf []byte) []byte {
+	buf = node.AppendKey64(buf, s.rounds)
+	return node.AppendKey64(buf, s.mode)
+}
+
+func (s *Skewed) Restore(snap []byte) {
+	s.rounds = node.Key64(snap)
+	s.legacy = node.Key64(snap[8:])
+}

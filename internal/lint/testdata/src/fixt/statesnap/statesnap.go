@@ -1,0 +1,32 @@
+// Package statesnap is a fixture with an undo-coverage violation: the
+// machine's handlers write a field that SnapshotTo never encodes and
+// Restore never sets, so undo-based exploration would resurrect a stale
+// value on every backtrack.
+package statesnap
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Lossy is an Undoable machine whose drops counter is mutated by OnMsg
+// but missing from both halves of the snapshot codec.
+type Lossy struct {
+	seen  uint64
+	drops uint64 // want "field Lossy.drops is written by Init/OnMsg but never encoded by SnapshotTo" "field Lossy.drops is written by Init/OnMsg but never restored by Restore"
+}
+
+func (l *Lossy) Init(e node.PulseEmitter) { l.seen = 0 }
+
+func (l *Lossy) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	l.seen++
+	if p == pulse.Port1 {
+		l.drops++
+		return
+	}
+	e.Send(p.Opposite(), m)
+}
+
+func (l *Lossy) SnapshotTo(buf []byte) []byte { return node.AppendKey64(buf, l.seen) }
+
+func (l *Lossy) Restore(snap []byte) { l.seen = node.Key64(snap) }

@@ -1,0 +1,23 @@
+// Package xblock is a fixture with a cross-package handler-block
+// violation: a machine-shaped type — detected by its OnMsg emitter
+// parameter alone, with no HandlerPkgs registration — whose handler
+// reaches a channel send declared in a sibling package.
+package xblock
+
+import (
+	"coleader/internal/lint/testdata/src/fixt/xblockhelp"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Relay forwards every pulse and notifies an out-of-band subscriber.
+type Relay struct {
+	n xblockhelp.Notifier
+}
+
+func (r *Relay) Init(e node.PulseEmitter) {}
+
+func (r *Relay) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	e.Send(p.Opposite(), m)
+	r.n.Notify(1)
+}

@@ -1,0 +1,16 @@
+// Package xblockhelp holds a helper whose notify path performs a channel
+// send. The helper is fine on its own; the violation appears when an
+// event handler in a sibling package reaches it through the module-wide
+// call graph.
+package xblockhelp
+
+// Notifier fans events out to a subscriber channel.
+type Notifier struct {
+	C chan int
+}
+
+// Notify publishes ev synchronously; with a full buffer this blocks the
+// calling goroutine.
+func (n *Notifier) Notify(ev int) {
+	n.C <- ev // want "blocking channel send reachable from event handler .*OnMsg"
+}

@@ -1,0 +1,21 @@
+// Package xtaint is an oblivious fixture whose payload leaks across a
+// package boundary: helpers in xtainthelp receive and return the pulse,
+// and the derived control flow is flagged on both sides — inside the
+// helper that inspects the payload, and here on a condition over a value
+// echoed back through the helper.
+package xtaint
+
+import (
+	"coleader/internal/lint/testdata/src/fixt/xtainthelp"
+	"coleader/internal/pulse"
+)
+
+// route hands its payload to a sibling-package classifier (the branch it
+// performs is flagged over there) and branches on a value echoed back.
+func route(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	xtainthelp.Classify(m)
+	if xtainthelp.Echo(m) == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		forward(p.Opposite(), m)
+	}
+	forward(p, m)
+}

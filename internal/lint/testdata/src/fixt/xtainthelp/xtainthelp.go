@@ -1,0 +1,19 @@
+// Package xtainthelp holds content-inspecting helpers. They are not
+// themselves oblivious; the findings land here only when an oblivious
+// caller hands them a payload across the package boundary.
+package xtainthelp
+
+import "coleader/internal/pulse"
+
+// Classify branches on its argument: harmless on its own, a model
+// violation when the argument derives from an oblivious package's pulse.
+func Classify(m pulse.Pulse) int {
+	if m == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		return 0
+	}
+	return 1
+}
+
+// Echo returns its argument unchanged, laundering taint through a
+// cross-package return value.
+func Echo(m pulse.Pulse) pulse.Pulse { return m }

@@ -105,7 +105,7 @@ func runFixture(t *testing.T, cfg lint.Config, pkgPaths ...string) lint.Result {
 		pkgs = append(pkgs, p)
 		wants = append(wants, collectWants(t, p.Dir)...)
 	}
-	runner := &lint.Runner{Config: cfg, Fset: l.Fset}
+	runner := &lint.Runner{Config: cfg, Fset: l.Fset, Resolve: l.Load}
 	res := runner.Run(pkgs)
 
 	matched := make([]bool, len(res.Findings))
@@ -231,6 +231,55 @@ func TestFixtureHandlerBlock(t *testing.T) {
 		Checks:      []string{lint.CheckHandlerBlock},
 	}
 	runFixture(t, cfg, "fixt/handler")
+}
+
+// stateChecks is the full state-integrity family; the fixtures are built
+// so each family member fires only where its want comment says.
+var stateChecks = []string{
+	lint.CheckStateSnapshot, lint.CheckStateRestore,
+	lint.CheckStateKey, lint.CheckStateSkew,
+}
+
+func TestFixtureStateSnapshot(t *testing.T) {
+	runFixture(t, lint.Config{Checks: stateChecks}, "fixt/statesnap")
+}
+
+func TestFixtureStateRestore(t *testing.T) {
+	runFixture(t, lint.Config{Checks: stateChecks}, "fixt/staterestore")
+}
+
+func TestFixtureStateKey(t *testing.T) {
+	runFixture(t, lint.Config{Checks: stateChecks}, "fixt/statekey")
+}
+
+// TestFixtureCrossPackageBlock proves two things at once: handler roots
+// are auto-detected from the OnMsg emitter signature (no HandlerPkgs
+// entry), and blocking operations are found through call chains into
+// other packages. The fixtures import each other by real module path so
+// the same sources also load under cmd/oblint without ExtraRoots.
+func TestFixtureCrossPackageBlock(t *testing.T) {
+	cfg := lint.Config{
+		EmitterType: "coleader/internal/node.Emitter",
+		Checks:      []string{lint.CheckHandlerBlock},
+	}
+	runFixture(t, cfg,
+		"coleader/internal/lint/testdata/src/fixt/xblock",
+		"coleader/internal/lint/testdata/src/fixt/xblockhelp")
+}
+
+// TestFixtureCrossPackageTaint proves payload taint crosses package
+// boundaries in both directions: into a helper's parameter (the sink is
+// in the helper) and back out through a helper's return value (the sink
+// is in the oblivious caller).
+func TestFixtureCrossPackageTaint(t *testing.T) {
+	cfg := lint.Config{
+		Oblivious: []string{"coleader/internal/lint/testdata/src/fixt/xtaint"},
+		PulseType: "coleader/internal/pulse.Pulse",
+		Checks:    []string{lint.CheckObliviousTaint},
+	}
+	runFixture(t, cfg,
+		"coleader/internal/lint/testdata/src/fixt/xtaint",
+		"coleader/internal/lint/testdata/src/fixt/xtainthelp")
 }
 
 func TestFixtureAtomicCopy(t *testing.T) {

@@ -70,6 +70,13 @@ type Cloneable[M any] interface {
 // but avoids the per-state formatting and string assembly cost, which
 // dominates memoized exhaustive exploration. Encodings should begin with
 // a short type tag so keys of different machine types never collide.
+//
+// Field parity: every struct field Init or OnMsg writes (directly or
+// through helpers) must influence the key — an omitted field merges
+// distinct global states and the explorer silently under-explores. The
+// oblint state-key check proves this per field, for AppendStateKey and
+// for the StateKey/CloneMachine fallback alike; error-typed fields are
+// exempt (see Undoable).
 type KeyAppender interface {
 	AppendStateKey(dst []byte) []byte
 }
@@ -87,6 +94,13 @@ type KeyAppender interface {
 // ignore. Snapshots are only taken from — and restored onto — machines
 // whose Status().Err is nil (the explorer aborts on the first fault), so
 // implementations need not encode error values; Restore clears any.
+//
+// Field parity: every struct field Init or OnMsg writes (directly or
+// through helpers) must be encoded by SnapshotTo AND written back by
+// Restore, and Restore must not decode fields SnapshotTo never encodes.
+// The oblint state-snapshot, state-restore, and state-skew checks prove
+// all three per field, module-wide; error-typed fields are exempt per
+// the contract above.
 type Undoable interface {
 	SnapshotTo(buf []byte) []byte
 	Restore(snap []byte)
