@@ -30,19 +30,31 @@ lint:
 		staterestore:state-restore \
 		staterestore:state-skew \
 		statekey:state-key \
-		xblock:handler-block; do \
+		xblock:handler-block \
+		dynblock:handler-block \
+		concleak:conc-goroutine-leak \
+		chandir:conc-chan-direction \
+		conclock:conc-lock-order; do \
 		dir=internal/lint/testdata/src/fixt/$${fc%%:*}; chk=$${fc##*:}; \
 		if $(GO) run ./cmd/oblint -check $$chk $$dir >/dev/null 2>&1; then \
 			echo "oblint failed to flag $$dir under $$chk"; exit 1; \
 		fi; \
 	done
+	@dir=internal/lint/testdata/src/fixt/dyntaint; \
+	if $(GO) run ./cmd/oblint -check oblivious-taint -oblivious coleader/$$dir $$dir >/dev/null 2>&1; then \
+		echo "oblint failed to flag $$dir under oblivious-taint"; exit 1; \
+	fi
 
 # lint-bench times a cold oblint run (fresh cache: full source
 # type-checking) against a warm one (content-hash cache replay) on a
 # prebuilt binary, proves the two produce byte-identical findings, and
 # records both wall times as a benchmark family in BENCH_sim.json so the
-# analyzer's own performance is ratcheted like the simulator's. Override
-# the entry label for CI comparison runs:
+# analyzer's own performance is ratcheted like the simulator's. The
+# devirtualization site counts from the cold run's -json output ride
+# along as custom metrics (resolved-sites / overapprox-sites /
+# unresolvable-sites), so CI can ratchet the call graph's residual blind
+# spots downward alongside the wall times. Override the entry label for
+# CI comparison runs:
 #   make lint-bench LINT_BENCH_LABEL=lint-ci
 LINT_BENCH_LABEL ?= lint
 lint-bench:
@@ -59,8 +71,14 @@ lint-bench:
 	printf 'BenchmarkOblintColdModule 1 %d ns/op\nBenchmarkOblintWarmModule 1 %d ns/op\n' \
 		$$(( t1 - t0 )) $$(( t2 - t1 )) > .oblint-bench-times.txt
 	@cmp .oblint-bench-cold.json .oblint-bench-warm.json && echo "cold and warm findings are byte-identical"
+	@res=$$(grep -o '"resolvedSites": *[0-9]*' .oblint-bench-cold.json | grep -o '[0-9]*$$'); \
+	ova=$$(grep -o '"overApproxSites": *[0-9]*' .oblint-bench-cold.json | grep -o '[0-9]*$$'); \
+	unr=$$(grep -o '"unresolvableSites": *[0-9]*' .oblint-bench-cold.json | grep -o '[0-9]*$$'); \
+	echo "devirt: $$res resolved, $$ova over-approx, $$unr unresolvable"; \
+	printf 'BenchmarkOblintDevirt 1 %d resolved-sites %d overapprox-sites %d unresolvable-sites\n' \
+		"$$res" "$$ova" "$$unr" >> .oblint-bench-times.txt
 	$(GO) run ./cmd/benchjson -in .oblint-bench-times.txt -out BENCH_sim.json \
-		-label "$(LINT_BENCH_LABEL)" -note "oblint whole-module wall time"
+		-label "$(LINT_BENCH_LABEL)" -note "oblint whole-module wall time + devirt site counts"
 	@rm -rf .oblint-bench-cache .oblint-bench-cold.json .oblint-bench-warm.json .oblint-bench-times.txt
 
 build:

@@ -2,10 +2,16 @@
 // repository. It mechanically enforces the discipline the paper's results
 // rest on — content-obliviousness (with payload taint followed across
 // function and package boundaries), determinism, layering, atomic
-// hygiene, non-blocking handlers, and machine state-encoding integrity
-// (the state-* snapshot/restore/key field-parity family) — across every
-// package in the module. See internal/lint for the checks and DESIGN.md
-// ("Enforced model invariants") for the policy.
+// hygiene, non-blocking handlers, machine state-encoding integrity (the
+// state-* snapshot/restore/key field-parity family), and concurrency
+// integrity (the conc-* goroutine-leak / channel-direction / lock-order
+// family) — across every package in the module. The interprocedural
+// checks run on a devirtualized call graph: calls through interfaces and
+// func values resolve to every live module implementation or bound
+// function, and each dynamic call site's resolution outcome (resolved /
+// over-approximated / unresolvable) is counted in the -json "devirt"
+// object and the -cache-stats summary. See internal/lint for the checks
+// and DESIGN.md ("Enforced model invariants") for the policy.
 //
 // Usage:
 //
@@ -52,6 +58,7 @@ func main() {
 	dir := flag.String("C", ".", "directory inside the target module")
 	typeErrs := flag.Bool("typeerrors", false, "also print soft type-check errors")
 	baseline := flag.String("baseline", "", "JSON findings file to diff against; only NEW findings fail")
+	oblivious := flag.String("oblivious", "", "comma-separated extra packages to treat as content-oblivious (fixture/testing aid)")
 	useCache := flag.Bool("cache", true, "use the content-hash analysis cache for whole-module runs")
 	cacheDir := flag.String("cache-dir", "", "cache directory (default: user cache dir)")
 	cacheStats := flag.Bool("cache-stats", false, "report cache hits/misses on stderr")
@@ -81,6 +88,11 @@ func main() {
 	}
 
 	cfg := lint.DefaultConfig()
+	for _, p := range strings.Split(*oblivious, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Oblivious = append(cfg.Oblivious, p)
+		}
+	}
 	if *only != "" {
 		known := make(map[string]bool)
 		for _, c := range lint.AllChecks() {
@@ -126,6 +138,8 @@ func main() {
 		}
 		if *cacheStats {
 			fmt.Fprintf(os.Stderr, "oblint: cache %d hit(s), %d miss(es)\n", stats.Hits, stats.Misses)
+			fmt.Fprintf(os.Stderr, "oblint: devirt %d resolved, %d over-approx, %d unresolvable dynamic call site(s)\n",
+				res.Devirt.ResolvedSites, res.Devirt.OverApproxSites, res.Devirt.UnresolvableSites)
 		}
 	default:
 		loader := lint.NewLoader(root, module)
@@ -149,6 +163,16 @@ func main() {
 			}
 		}
 		runner := &lint.Runner{Config: cfg, Fset: loader.Fset, Resolve: loader.Load}
+		if all {
+			paths := make([]string, len(pkgs))
+			for i, p := range pkgs {
+				paths[i] = p.Path
+			}
+			// Whole-module runs index every package for devirtualization;
+			// explicit package arguments leave List unset, so the index
+			// covers only the packages the run actually touches.
+			runner.List = func() []string { return paths }
+		}
 		res = runner.Run(pkgs)
 		for _, p := range pkgs {
 			for _, e := range p.TypeErrors {
@@ -232,7 +256,7 @@ func defaultCacheDir(module string) string {
 }
 
 // relativize rewrites absolute file paths relative to the module root for
-// stable, diffable output.
+// stable, diffable output; every non-path field rides through unchanged.
 func relativize(res lint.Result, root string) lint.Result {
 	rel := func(fs []lint.Finding) []lint.Finding {
 		out := make([]lint.Finding, len(fs))
@@ -244,7 +268,9 @@ func relativize(res lint.Result, root string) lint.Result {
 		}
 		return out
 	}
-	return lint.Result{Findings: rel(res.Findings), Suppressed: rel(res.Suppressed)}
+	res.Findings = rel(res.Findings)
+	res.Suppressed = rel(res.Suppressed)
+	return res
 }
 
 func fatal(err error) {

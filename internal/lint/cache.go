@@ -4,32 +4,44 @@ package lint
 // packages it imports from source (3-4 s); nothing in that cost changes
 // between runs unless source changes. Every check is per-package
 // (Runner.RunPackage), and even the interprocedural ones (handler-block,
-// oblivious-taint, state-*) depend only on the package's own syntax plus
-// the sources of its transitive module-internal imports — Go forbids
-// import cycles, so a call chain from package P can only reach bodies in
-// P's import closure. A package's verdict can therefore be keyed by
-// content hashes and replayed without loading anything:
+// oblivious-taint, state-*, conc-*) are deterministic functions of the
+// package's own syntax plus module sources. A package's verdict can
+// therefore be keyed by content hashes and replayed without loading
+// anything:
 //
 //	key(P) = H(format version ‖ Go version ‖ policy JSON ‖ analyzer
-//	          sources ‖ for every package in P's transitive
-//	          module-internal closure: path ‖ file names ‖ file hashes)
+//	          sources ‖ module type-set digest ‖ for every package in P's
+//	          transitive module-internal closure: path ‖ file names ‖
+//	          file hashes)
 //
 // The Go version stands in for the stdlib's export data, the policy JSON
 // invalidates on any Config edit, and the analyzer-source term (the
 // internal/lint and cmd/oblint file hashes, which the module scan already
 // computed) invalidates every entry when the checks themselves change —
-// the classic staleness bug of finding caches. The closure term doubles as
-// the cross-package dependency digest for the interprocedural facts: an
-// edit to any body a chain could reach changes some file hash in the
-// closure and re-keys the verdict. Each entry also records that digest
-// (DepsDigest) and the closure it covered, purely for observability —
-// `jq .depsDigest` on two entries answers "did a dependency change?"
-// without re-deriving keys. Computing the keys needs only an imports-only
-// parse of each file, so a fully warm run does no type-checking at all and
-// finishes in tens of milliseconds.
+// the classic staleness bug of finding caches.
 //
-// Entries store module-root-relative paths and are rehydrated to absolute
-// on read, so cached and fresh findings are byte-identical downstream.
+// The closure term covers the reach of *static* call chains: Go forbids
+// import cycles, so a static call from package P only reaches bodies in
+// P's import closure. Devirtualization (callgraph.go) broke that locality:
+// an interface method call in P can resolve to an implementation declared
+// in a package P never imports, and the candidate set itself depends on
+// every package's method sets, instantiations, and func-value bindings.
+// The v3 key therefore folds a module-wide type-set digest — the file
+// hashes of every module package — into the run-wide salt. The trade is
+// deliberate: any edit anywhere now invalidates every entry (a cold run
+// costs 1-2 s), but a warm no-edit run still hits 100% and stays within
+// the 50 ms CI budget, and no entry can ever replay a verdict whose
+// devirtualized edges went stale. Each entry also records its closure
+// digest (DepsDigest), purely for observability — `jq .depsDigest` on two
+// entries answers "did a dependency change?" without re-deriving keys.
+// Computing the keys needs only an imports-only parse of each file, so a
+// fully warm run does no type-checking at all and finishes in tens of
+// milliseconds.
+//
+// Entries store module-root-relative paths (and the package's
+// dynamic-call-site resolution stats, replayed into Result.Devirt) and
+// are rehydrated to absolute on read, so cached and fresh results are
+// byte-identical downstream.
 
 import (
 	"crypto/sha256"
@@ -46,9 +58,9 @@ import (
 )
 
 // cacheFormatVersion salts every key; bump it when the entry schema or key
-// derivation changes. v2: interprocedural engine (module-wide call graph),
-// state-* check family, DepsDigest observability fields.
-const cacheFormatVersion = "oblint-cache-v2"
+// derivation changes. v3: devirtualized call graph (module-wide type-set
+// digest in the salt), per-entry Devirt stats, conc-* check family.
+const cacheFormatVersion = "oblint-cache-v3"
 
 // CacheStats reports how a cached run split between replay and analysis.
 type CacheStats struct {
@@ -61,11 +73,12 @@ type CacheStats struct {
 // folded into the entry's key — they never influence replay, but make
 // stale-entry investigations answerable from the cache dir alone.
 type cacheEntry struct {
-	Findings   []Finding `json:"findings"`
-	Suppressed []Finding `json:"suppressed,omitempty"`
-	TypeErrors []string  `json:"type_errors,omitempty"`
-	Deps       []string  `json:"deps,omitempty"`
-	DepsDigest string    `json:"depsDigest,omitempty"`
+	Findings   []Finding   `json:"findings"`
+	Suppressed []Finding   `json:"suppressed,omitempty"`
+	TypeErrors []string    `json:"type_errors,omitempty"`
+	Devirt     DevirtStats `json:"devirt"`
+	Deps       []string    `json:"deps,omitempty"`
+	DepsDigest string      `json:"depsDigest,omitempty"`
 }
 
 // scanPkg is one module package as seen by the cheap (imports-only) scan.
@@ -150,9 +163,13 @@ func closure(pkgs map[string]*scanPkg, path string) []string {
 	return out
 }
 
-// cacheSalt derives the run-wide key prefix: analyzer identity plus
-// policy. The analyzer-source term uses the scan's own hashes for
-// internal/lint and cmd/oblint, so editing a check invalidates everything.
+// cacheSalt derives the run-wide key prefix: analyzer identity, policy,
+// and the module-wide type-set digest. The analyzer-source term uses the
+// scan's own hashes for internal/lint and cmd/oblint, so editing a check
+// invalidates everything; the type-set term hashes every module package,
+// because devirtualized candidate sets (method sets, liveness, func-value
+// bindings — callgraph.go) are derived from the whole module, outside any
+// one package's import closure.
 func cacheSalt(pkgs map[string]*scanPkg, module string, cfg Config) (string, error) {
 	cfgJSON, err := json.Marshal(cfg)
 	if err != nil {
@@ -164,6 +181,14 @@ func cacheSalt(pkgs map[string]*scanPkg, module string, cfg Config) (string, err
 		if sp := pkgs[self]; sp != nil {
 			fmt.Fprintf(h, "%s\x00%s\x00", self, sp.fileHash)
 		}
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		fmt.Fprintf(h, "%s\x00%s\x00", path, pkgs[path].fileHash)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
@@ -219,6 +244,7 @@ func RunCached(root, module string, cfg Config, cacheDir string) (Result, []stri
 			stats.Hits++
 			res.Findings = append(res.Findings, absolutize(ent.Findings, root)...)
 			res.Suppressed = append(res.Suppressed, absolutize(ent.Suppressed, root)...)
+			res.Devirt.Add(ent.Devirt)
 			typeErrs = append(typeErrs, ent.TypeErrors...)
 			continue
 		}
@@ -226,8 +252,11 @@ func RunCached(root, module string, cfg Config, cacheDir string) (Result, []stri
 		if loader == nil {
 			loader = NewLoader(root, module)
 			// The interprocedural checks resolve call chains through the
-			// same loader, so type objects are shared across packages.
-			runner = &Runner{Config: cfg, Fset: loader.Fset, Resolve: loader.Load}
+			// same loader, so type objects are shared across packages; the
+			// devirtualization index enumerates the module through the
+			// scan's package list.
+			runner = &Runner{Config: cfg, Fset: loader.Fset, Resolve: loader.Load,
+				List: func() []string { return order }}
 		}
 		p, err := loader.Load(ip)
 		if err != nil {
@@ -238,6 +267,7 @@ func RunCached(root, module string, cfg Config, cacheDir string) (Result, []stri
 		ent := cacheEntry{
 			Findings:   relativizeFindings(pr.Findings, root),
 			Suppressed: relativizeFindings(pr.Suppressed, root),
+			Devirt:     pr.Devirt,
 			Deps:       deps,
 			DepsDigest: depsDigest(pkgs, deps),
 		}
@@ -247,6 +277,7 @@ func RunCached(root, module string, cfg Config, cacheDir string) (Result, []stri
 		writeEntry(path, ent)
 		res.Findings = append(res.Findings, pr.Findings...)
 		res.Suppressed = append(res.Suppressed, pr.Suppressed...)
+		res.Devirt.Add(pr.Devirt)
 		typeErrs = append(typeErrs, ent.TypeErrors...)
 	}
 	sortFindings(res.Findings)

@@ -58,7 +58,14 @@ func TestRunCachedWarmIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := (&Runner{Config: cfg, Fset: l.Fset}).Run(pkgs)
+	paths := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		paths[i] = p.Path
+	}
+	// The reference runner must see the same module-wide type-set index
+	// the cached path wires up, or devirt stats (and any finding that
+	// depends on a cross-package candidate) would legitimately differ.
+	ref := (&Runner{Config: cfg, Fset: l.Fset, Resolve: l.Load, List: func() []string { return paths }}).Run(pkgs)
 	refJSON, _ := json.Marshal(ref)
 	if string(refJSON) != string(coldJSON) {
 		t.Errorf("cached result differs from uncached reference:\nref:    %s\ncached: %s", refJSON, coldJSON)

@@ -27,9 +27,20 @@ package lint
 // Operations inside a `go` statement's function literal are exempt — the
 // spawned goroutine may block, the handler does not — but the statement's
 // argument expressions are still evaluated synchronously and stay checked.
-// Calls through interfaces and func values are not resolved (no
-// instantiation analysis), which is the usual soundness trade of a static
-// call graph.
+// Calls through interfaces and func values devirtualize against the
+// module-wide type-set index (callgraph.go): every live implementation of
+// the interface method, and every function or closure the module binds to
+// the called value, is followed. Only a site with no module candidate ends
+// the chain — the residual soundness trade, counted in Result.Devirt.
+//
+// One interface is deliberately opaque: Config.EmitterType, the model's
+// emit primitive. Each runtime's emitter implementation is that runtime's
+// own handler-safety obligation — sim's emitter enqueues inline, live's
+// hands the pulse to a conduit whose dedicated pump goroutine (never the
+// node's own loop) is the consumer — so devirtualizing through it would
+// attribute one runtime's internals to every machine's handlers. The
+// emitter implementations stay checked in their own right wherever they
+// are reachable from a handler root by a concrete path.
 
 import (
 	"fmt"
@@ -45,13 +56,14 @@ type blockingOp struct {
 	desc string
 }
 
-// fnFacts records, per declared function/method, its direct blocking
-// operations and its direct resolvable callees.
+// fnFacts records, per declared function/method (or closure literal
+// reached through a devirtualized call), its direct blocking operations
+// and its direct callees — static and devirtualized alike.
 type fnFacts struct {
 	decl    *ast.FuncDecl
 	obj     *types.Func
 	ops     []blockingOp
-	callees []*types.Func
+	callees []calleeRef
 }
 
 // factsOf computes (memoized) the blocking facts of a function anywhere in
@@ -67,7 +79,23 @@ func (g *moduleGraph) factsOf(fn *types.Func) *fnFacts {
 	}
 	ff := &fnFacts{decl: d.decl, obj: fn}
 	g.facts[fn] = ff // pre-memo so recursive call chains terminate
-	collectBlocking(d.pkg, d.decl.Body, ff)
+	collectBlocking(g, d.pkg, d.decl.Body, ff)
+	return ff
+}
+
+// litFactsOf is factsOf for a closure literal reached through a
+// devirtualized func-value call; p is the package whose Info covers it.
+func (g *moduleGraph) litFactsOf(lit *ast.FuncLit, p *Package) *fnFacts {
+	if ff, ok := g.litFacts[lit]; ok {
+		return ff
+	}
+	if p == nil {
+		g.litFacts[lit] = nil
+		return nil
+	}
+	ff := &fnFacts{}
+	g.litFacts[lit] = ff // pre-memo so recursive chains terminate
+	collectBlocking(g, p, lit.Body, ff)
 	return ff
 }
 
@@ -105,14 +133,25 @@ func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, str
 	// (alphabetical) handler that reaches it so output stays deterministic.
 	reported := make(map[token.Pos]bool)
 	for _, root := range roots {
-		seen := make(map[*types.Func]bool)
-		var visit func(fn *types.Func)
-		visit = func(fn *types.Func) {
-			if seen[fn] {
-				return
+		seenFn := make(map[*types.Func]bool)
+		seenLit := make(map[*ast.FuncLit]bool)
+		var visit func(c calleeRef)
+		visit = func(c calleeRef) {
+			var ff *fnFacts
+			switch {
+			case c.fn != nil:
+				if seenFn[c.fn] {
+					return
+				}
+				seenFn[c.fn] = true
+				ff = g.factsOf(c.fn)
+			case c.lit != nil:
+				if seenLit[c.lit] {
+					return
+				}
+				seenLit[c.lit] = true
+				ff = g.litFactsOf(c.lit, c.pkg)
 			}
-			seen[fn] = true
-			ff := g.factsOf(fn)
 			if ff == nil {
 				return
 			}
@@ -125,11 +164,11 @@ func checkHandlerBlock(r *Runner, p *Package, report func(token.Pos, string, str
 					fmt.Sprintf("blocking %s reachable from event handler %s (handlers run inline on the runtime's event loop and must never block)",
 						op.desc, root.FullName()))
 			}
-			for _, c := range ff.callees {
-				visit(c)
+			for _, cc := range ff.callees {
+				visit(cc)
 			}
 		}
-		visit(root)
+		visit(calleeRef{fn: root})
 	}
 }
 
@@ -177,10 +216,12 @@ func namedPath(t types.Type) string {
 }
 
 // collectBlocking walks a function body recording direct blocking
-// operations and direct resolvable callees. Function literals are treated
-// as part of the enclosing body (they may run synchronously) except when
-// they are the function of a `go` statement.
-func collectBlocking(p *Package, body ast.Node, ff *fnFacts) {
+// operations and direct callees — concrete callees directly, dynamic sites
+// (interface methods, func values) through the devirtualization index.
+// Function literals are treated as part of the enclosing body (they may
+// run synchronously) except when they are the function of a `go`
+// statement.
+func collectBlocking(g *moduleGraph, p *Package, body ast.Node, ff *fnFacts) {
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
 		if n == nil {
@@ -230,7 +271,13 @@ func collectBlocking(p *Package, body ast.Node, ff *fnFacts) {
 				} else if fn.Pkg() != nil {
 					// Resolution to a body happens lazily in factsOf; an
 					// unresolvable callee (stdlib) just ends the chain.
-					ff.callees = append(ff.callees, fn)
+					ff.callees = append(ff.callees, calleeRef{fn: fn})
+				}
+			} else if !emitterCall(g.r, p, n) {
+				// Dynamic site: follow every devirtualized candidate. An
+				// unresolvable site has none and ends the chain there.
+				if cands, kind := g.resolveCall(p, n); kind != siteStatic {
+					ff.callees = append(ff.callees, cands...)
 				}
 			}
 		}
@@ -243,6 +290,28 @@ func collectBlocking(p *Package, body ast.Node, ff *fnFacts) {
 		})
 	}
 	walk(body)
+}
+
+// emitterCall reports whether a call is a method call through the
+// configured emitter interface — the emit primitive handler-block treats
+// as opaque (see the file comment).
+func emitterCall(r *Runner, p *Package, call *ast.CallExpr) bool {
+	want := r.Config.EmitterType
+	if want == "" {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	if _, isIface := s.Recv().Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return namedPath(s.Recv()) == want
 }
 
 func selectHasDefault(s *ast.SelectStmt) bool {

@@ -27,6 +27,9 @@ const (
 	CheckStateRestore     = "state-restore"
 	CheckStateKey         = "state-key"
 	CheckStateSkew        = "state-skew"
+	CheckConcLeak         = "conc-goroutine-leak"
+	CheckConcChanDir      = "conc-chan-direction"
+	CheckConcLockOrder    = "conc-lock-order"
 )
 
 // AllChecks lists every check name, in report order.
@@ -38,6 +41,7 @@ func AllChecks() []string {
 		CheckLayerDAG, CheckAtomicMixed, CheckAtomicCopy,
 		CheckHandlerBlock,
 		CheckStateSnapshot, CheckStateRestore, CheckStateKey, CheckStateSkew,
+		CheckConcLeak, CheckConcChanDir, CheckConcLockOrder,
 	}
 }
 
@@ -59,6 +63,9 @@ var checkDocs = map[string]string{
 	CheckStateRestore:     "every field a machine's handlers write must be reset by Restore (an omitted field leaks state across explorer branches)",
 	CheckStateKey:         "every field a machine's handlers write must enter AppendStateKey/StateKey (an omitted field merges distinct states in the memo table)",
 	CheckStateSkew:        "Restore may only write fields SnapshotTo encodes (layout skew between the two desynchronizes snapshot and restore)",
+	CheckConcLeak:         "a spawned goroutine must not busy-loop forever: every unconditional loop in its body needs a channel gate (select/receive/range) or a lexical exit (return/break/goto/panic)",
+	CheckConcChanDir:      "a channel field annotated //oblint:chandir recv|send may only be used in that direction outside the declaring type's methods (the conduit/emitter role convention)",
+	CheckConcLockOrder:    "two mutexes must be acquired in one consistent order everywhere in a package (an inversion, found over the devirtualized call graph, can deadlock)",
 }
 
 // CheckDoc returns the one-line invariant a check enforces ("" if unknown).
@@ -133,8 +140,9 @@ type Config struct {
 // FindingsSchemaVersion identifies the JSON shape of Result as emitted by
 // cmd/oblint -json (fields, check names, sort order). Bump it whenever a
 // change would make two otherwise-equal trees produce different bytes, so
-// CI artifact diffs compare like with like.
-const FindingsSchemaVersion = 2
+// CI artifact diffs compare like with like. v3: the conc-* check family
+// and per-site devirtualization stats (Result.Devirt).
+const FindingsSchemaVersion = 3
 
 // Finding is one rule violation at a source position.
 type Finding struct {
@@ -151,6 +159,25 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Msg)
 }
 
+// DevirtStats counts dynamic call sites — interface method calls and
+// calls through func-typed values — by resolution outcome against the
+// module-wide type-set index (callgraph.go). Resolved sites devirtualized
+// to exactly one candidate, over-approximated sites to several (all
+// followed), unresolvable sites to none: those end call chains and are the
+// analyzer's remaining soundness gap, ratcheted down in CI.
+type DevirtStats struct {
+	ResolvedSites     int `json:"resolvedSites"`
+	OverApproxSites   int `json:"overApproxSites"`
+	UnresolvableSites int `json:"unresolvableSites"`
+}
+
+// Add accumulates o into s.
+func (s *DevirtStats) Add(o DevirtStats) {
+	s.ResolvedSites += o.ResolvedSites
+	s.OverApproxSites += o.OverApproxSites
+	s.UnresolvableSites += o.UnresolvableSites
+}
+
 // Result is the outcome of one Run: active findings fail the build,
 // suppressed ones (silenced by //oblint:allow directives) are reported for
 // tracking but do not fail.
@@ -162,6 +189,10 @@ type Result struct {
 
 	Findings   []Finding `json:"findings"`
 	Suppressed []Finding `json:"suppressed,omitempty"`
+
+	// Devirt aggregates the dynamic-call-site resolution stats of every
+	// analyzed package. Observability only: baseline diffing ignores it.
+	Devirt DevirtStats `json:"devirt"`
 }
 
 // Runner applies a Config to loaded packages.
@@ -175,6 +206,13 @@ type Runner struct {
 	// at the boundary of the packages passed to Run, which weakens the
 	// interprocedural checks but never breaks the per-package ones.
 	Resolve func(path string) (*Package, error)
+
+	// List enumerates every module package path for the devirtualization
+	// type-set index (callgraph.go). Wire it to the same package
+	// discovery the run uses (modulePackageDirs / LoadAll); when nil the
+	// index covers only the packages the graph has already resolved,
+	// which is what fixture harnesses want.
+	List func() []string
 
 	graph *moduleGraph
 }
@@ -216,6 +254,9 @@ var allCheckFns = []struct {
 	{CheckStateRestore, checkStateRestore},
 	{CheckStateKey, checkStateKey},
 	{CheckStateSkew, checkStateSkew},
+	{CheckConcLeak, checkConcLeak},
+	{CheckConcChanDir, checkConcChanDir},
+	{CheckConcLockOrder, checkConcLockOrder},
 }
 
 // Run applies every enabled check to every package and splits the findings
@@ -226,6 +267,7 @@ func (r *Runner) Run(pkgs []*Package) Result {
 		pr := r.RunPackage(p)
 		res.Findings = append(res.Findings, pr.Findings...)
 		res.Suppressed = append(res.Suppressed, pr.Suppressed...)
+		res.Devirt.Add(pr.Devirt)
 	}
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
@@ -259,6 +301,7 @@ func (r *Runner) RunPackage(p *Package) Result {
 			c.fn(r, p, report)
 		}
 	}
+	res.Devirt = r.module().devirtStats(p)
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
 	return res

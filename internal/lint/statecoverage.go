@@ -32,12 +32,15 @@ package lint
 // merely clears them.
 //
 // The field tracker is deliberately conservative: a receiver (or its
-// address) escaping into an unresolvable call, an interface, or a plain
-// value copy marks every field, never fewer. Mutation is recognized
-// through assignment (including op-assign and ++/--), address-taking, and
-// pointer-receiver method calls on a field; nested accesses (a.inner.id,
-// a.rho[p]) attribute to the top-level field, which is the granularity the
-// encodings work at.
+// address) escaping into an unresolvable call, an interface value, or a
+// plain value copy marks every field, never fewer. A call through an
+// interface method or func value first devirtualizes against the
+// module-wide type-set index (callgraph.go) and follows every candidate
+// body; only a site with no module candidate escapes to all fields.
+// Mutation is recognized through assignment (including op-assign and
+// ++/--), address-taking, and pointer-receiver method calls on a field;
+// nested accesses (a.inner.id, a.rho[p]) attribute to the top-level field,
+// which is the granularity the encodings work at.
 
 import (
 	"fmt"
@@ -251,11 +254,12 @@ func (fs *fieldSet) mark(name string)     { fs.names[name] = true }
 // call graph.
 func scanFields(g *moduleGraph, p *Package, typ *types.Named, writes bool, decls ...*ast.FuncDecl) *fieldSet {
 	fs := &fieldScan{
-		g:       g,
-		typObj:  typ.Obj(),
-		writes:  writes,
-		set:     &fieldSet{names: make(map[string]bool)},
-		visited: make(map[*ast.FuncDecl]bool),
+		g:           g,
+		typObj:      typ.Obj(),
+		writes:      writes,
+		set:         &fieldSet{names: make(map[string]bool)},
+		visited:     make(map[*ast.FuncDecl]bool),
+		visitedLits: make(map[*ast.FuncLit]bool),
 	}
 	for _, fd := range decls {
 		if fd == nil {
@@ -270,11 +274,12 @@ func scanFields(g *moduleGraph, p *Package, typ *types.Named, writes bool, decls
 // of that type: the receiver of the scanned method, or a parameter it was
 // passed to.
 type fieldScan struct {
-	g       *moduleGraph
-	typObj  *types.TypeName
-	writes  bool
-	set     *fieldSet
-	visited map[*ast.FuncDecl]bool
+	g           *moduleGraph
+	typObj      *types.TypeName
+	writes      bool
+	set         *fieldSet
+	visited     map[*ast.FuncDecl]bool
+	visitedLits map[*ast.FuncLit]bool
 }
 
 // recvObj resolves a method's receiver identifier to its object, or nil
@@ -295,7 +300,21 @@ func (fs *fieldScan) scan(p *Package, fd *ast.FuncDecl, tracked types.Object) {
 		return
 	}
 	fs.visited[fd] = true
-	walkParents(fd.Body, func(n ast.Node, parents []ast.Node) {
+	fs.scanBody(p, fd.Body, tracked)
+}
+
+// scanLit is scan for a closure literal reached through a devirtualized
+// func-value call.
+func (fs *fieldScan) scanLit(p *Package, lit *ast.FuncLit, tracked types.Object) {
+	if lit == nil || tracked == nil || fs.visitedLits[lit] {
+		return
+	}
+	fs.visitedLits[lit] = true
+	fs.scanBody(p, lit.Body, tracked)
+}
+
+func (fs *fieldScan) scanBody(p *Package, body ast.Node, tracked types.Object) {
+	walkParents(body, func(n ast.Node, parents []ast.Node) {
 		id, ok := n.(*ast.Ident)
 		if !ok || objOf(p, id) != tracked {
 			return
@@ -460,12 +479,20 @@ func (fs *fieldScan) hop(p *Package, call *ast.CallExpr, arg ast.Expr) {
 		}
 		return
 	}
-	fn := calleeFunc(p, call.Fun)
-	if fn == nil {
-		fs.set.all = true
+	cands, kind := fs.g.resolveCall(p, call)
+	if len(cands) == 0 || kind == siteUnresolvable {
+		fs.set.all = true // no resolvable body could be scanned: escape
 		return
 	}
-	sig, _ := fn.Type().(*types.Signature)
+	for _, c := range cands {
+		fs.hopInto(p, c, idx)
+	}
+}
+
+// hopInto follows the tracked value into one resolved candidate callee —
+// a declared function/method or a closure literal.
+func (fs *fieldScan) hopInto(p *Package, c calleeRef, idx int) {
+	sig := c.sig()
 	if sig == nil || sig.Params().Len() == 0 {
 		fs.set.all = true
 		return
@@ -482,7 +509,15 @@ func (fs *fieldScan) hop(p *Package, call *ast.CallExpr, arg ast.Expr) {
 		fs.set.all = true // the value escapes behind an interface or any
 		return
 	}
-	d := fs.g.declOf(fn)
+	if c.lit != nil {
+		obj := fieldObjAt(c.pkg, c.lit.Type.Params, pi)
+		if obj == nil {
+			return // blank or unnamed parameter: the closure cannot touch it
+		}
+		fs.scanLit(c.pkg, c.lit, obj)
+		return
+	}
+	d := fs.g.declOf(c.fn)
 	if d == nil {
 		fs.set.all = true
 		return
@@ -507,8 +542,17 @@ func (fs *fieldScan) machineParam(t types.Type) bool {
 // paramObjAt resolves the i-th parameter of a declaration to its object,
 // or nil for blank/unnamed parameters.
 func paramObjAt(d *fnDecl, i int) types.Object {
+	return fieldObjAt(d.pkg, d.decl.Type.Params, i)
+}
+
+// fieldObjAt resolves the i-th entry of a parameter list to its object, or
+// nil for blank/unnamed parameters.
+func fieldObjAt(p *Package, params *ast.FieldList, i int) types.Object {
+	if p == nil || params == nil {
+		return nil
+	}
 	idx := 0
-	for _, field := range d.decl.Type.Params.List {
+	for _, field := range params.List {
 		n := len(field.Names)
 		if n == 0 {
 			if idx == i {
@@ -522,7 +566,7 @@ func paramObjAt(d *fnDecl, i int) types.Object {
 				if name.Name == "_" {
 					return nil
 				}
-				return d.pkg.Info.Defs[name]
+				return p.Info.Defs[name]
 			}
 			idx++
 		}

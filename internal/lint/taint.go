@@ -29,7 +29,12 @@ package lint
 //     tainted argument taints the callee's parameter object, and a method
 //     call on a tainted value taints the method's receiver object —
 //     parameter and receiver objects are shared with the callee's body
-//     under one Loader, so the taint is visible wherever the body is;
+//     under one Loader, so the taint is visible wherever the body is.
+//     Dynamic calls (interface methods, func values) devirtualize against
+//     the module-wide type-set index (callgraph.go): every candidate
+//     callee's parameters and receiver taint, and a call is result-tainted
+//     when any candidate is — an over-approximation, the safe direction
+//     for a taint analysis;
 //   - sinks: if/for conditions, switch tags and case expressions, and
 //     type-switch subjects — reported in the analyzed package always, and
 //     in scope packages that are not themselves oblivious (an oblivious
@@ -52,9 +57,11 @@ import (
 
 // taintState is the monotone fact base of the fixed point. p is the
 // package currently being walked (facts themselves are cross-package:
-// go/types objects are shared under one Loader).
+// go/types objects are shared under one Loader); g resolves call sites,
+// including dynamic ones, through the module graph.
 type taintState struct {
 	p *Package
+	g *moduleGraph
 
 	// objs holds tainted variables: parameters, locals, struct fields,
 	// receivers, and package-level vars.
@@ -103,6 +110,7 @@ func checkObliviousTaint(r *Runner, p *Package, report func(token.Pos, string, s
 	scope := taintScope(g, p)
 	st := &taintState{
 		p:     p,
+		g:     g,
 		objs:  make(map[types.Object]bool),
 		funcs: make(map[types.Object]bool),
 		lits:  make(map[*ast.FuncLit]bool),
@@ -284,47 +292,44 @@ func propagateTaint(st *taintState, f *ast.File) {
 }
 
 // propagateCall carries taint into a call: a tainted argument taints the
-// matching parameter object of the resolved callee (or closure literal),
-// and a tainted method-call base taints the receiver object. The objects
-// are the very ones the callee body's identifiers resolve to, so the fixed
-// point picks the taint up inside the body on the next pass — in whatever
-// package the body lives.
+// matching parameter object of every candidate callee — the concrete one
+// for static calls, every devirtualized implementation or bound closure
+// for dynamic ones — and a tainted method-call base taints each
+// candidate's receiver object. The objects are the very ones the callee
+// body's identifiers resolve to, so the fixed point picks the taint up
+// inside the body on the next pass — in whatever package the body lives.
 func propagateCall(st *taintState, call *ast.CallExpr) {
 	if tv, ok := st.p.Info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
 		return // conversions/builtins: handled by exprTainted pass-through
 	}
-	var sig *types.Signature
-	if fn := calleeFunc(st.p, call.Fun); fn != nil {
-		sig, _ = fn.Type().(*types.Signature)
-	} else if fl, ok := unparen(call.Fun).(*ast.FuncLit); ok {
-		if tv, ok := st.p.Info.Types[fl]; ok {
-			sig, _ = tv.Type.(*types.Signature)
-		}
-	}
-	if sig == nil {
-		return
-	}
-	if recv := sig.Recv(); recv != nil {
-		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && exprTainted(st, sel.X) {
-			st.taintObj(recv)
-		}
-	}
-	np := sig.Params().Len()
-	if np == 0 {
-		return
-	}
-	for i, arg := range call.Args {
-		if !exprTainted(st, arg) {
+	cands, _ := st.g.resolveCall(st.p, call)
+	for _, c := range cands {
+		sig := c.sig()
+		if sig == nil {
 			continue
 		}
-		pi := i
-		if pi >= np {
-			if !sig.Variadic() {
+		if recv := sig.Recv(); recv != nil {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && exprTainted(st, sel.X) {
+				st.taintObj(recv)
+			}
+		}
+		np := sig.Params().Len()
+		if np == 0 {
+			continue
+		}
+		for i, arg := range call.Args {
+			if !exprTainted(st, arg) {
 				continue
 			}
-			pi = np - 1
+			pi := i
+			if pi >= np {
+				if !sig.Variadic() {
+					continue
+				}
+				pi = np - 1
+			}
+			st.taintObj(sig.Params().At(pi))
 		}
-		st.taintObj(sig.Params().At(pi))
 	}
 }
 
@@ -441,6 +446,15 @@ func exprTainted(st *taintState, e ast.Expr) bool {
 			}
 		case *ast.FuncLit:
 			if st.lits[fun] {
+				return true
+			}
+		}
+		// A devirtualized dynamic call is result-tainted when any candidate
+		// callee is (the candidates' own result-taint is established by the
+		// return-statement pass over their bodies).
+		cands, _ := st.g.resolveCall(st.p, e)
+		for _, c := range cands {
+			if (c.fn != nil && st.funcs[c.fn]) || (c.lit != nil && st.lits[c.lit]) {
 				return true
 			}
 		}

@@ -1,0 +1,45 @@
+// Package chandir is a fixture for conc-chan-direction: //oblint:chandir
+// annotations declare which direction code outside the declaring type
+// may use a channel field, the declaring type's own methods stay exempt,
+// and malformed or misplaced directives are themselves findings.
+package chandir
+
+// mailbox owns an intake channel (outsiders may only send) and a
+// delivery channel (outsiders may only receive).
+type mailbox struct {
+	in chan int //oblint:chandir send
+
+	out chan int //oblint:chandir recv
+
+	//oblint:chandir send
+	n int // want "oblint:chandir on non-channel field mailbox.n"
+
+	//oblint:chandir both // want "malformed directive"
+	bad chan int
+}
+
+// fill is outside code: sending on the intake is the annotated use,
+// sending on the delivery channel is not.
+func fill(m *mailbox) {
+	m.in <- 1
+	m.out <- 2 // want "send on receive-annotated channel field mailbox.out"
+}
+
+// drain is outside code: receiving from the delivery channel is the
+// annotated use, receiving (or ranging) from the intake is not.
+func drain(m *mailbox) int {
+	v := <-m.out
+	v += <-m.in           // want "receive from send-annotated channel field mailbox.in"
+	for w := range m.in { // want "receive .range. from send-annotated channel field mailbox.in"
+		v += w
+	}
+	return v
+}
+
+// flush runs on the declaring type: both directions are exempt.
+func (m *mailbox) flush() {
+	for v := range m.in {
+		m.out <- v
+	}
+	close(m.bad)
+}

@@ -1,0 +1,54 @@
+// Package concleak is a fixture for conc-goroutine-leak: goroutines
+// whose bodies spin on an unconditional loop with no channel gate and
+// no lexical exit. One leak is spawned as a literal, one through a func
+// value the resolver devirtualizes; the gated and exiting spawns below
+// must stay clean.
+package concleak
+
+type counter struct{ n int }
+
+// spinLit leaks via a literal body.
+func spinLit(c *counter) {
+	go func() { // want "goroutine spawned here runs an unconditional loop"
+		for {
+			c.n++
+		}
+	}()
+}
+
+// churn is the devirtualized leak target.
+func churn(c *counter) {
+	for {
+		c.n++
+	}
+}
+
+// spinDyn leaks through a func value: the spawned expression is a
+// dynamic call that resolves to churn via the module binding index.
+func spinDyn(c *counter) {
+	run := churn
+	go run(c) // want "goroutine spawned here runs an unconditional loop in .*churn"
+}
+
+// gated is clean: every iteration waits on a channel, so closing or
+// feeding tick controls the goroutine.
+func gated(c *counter, tick chan struct{}) {
+	go func() {
+		for {
+			<-tick
+			c.n++
+		}
+	}()
+}
+
+// bounded is clean: the loop has a lexical exit.
+func bounded(c *counter) {
+	go func() {
+		for {
+			if c.n > 10 {
+				return
+			}
+			c.n++
+		}
+	}()
+}

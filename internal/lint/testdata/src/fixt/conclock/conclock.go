@@ -1,0 +1,37 @@
+// Package conclock is a fixture for conc-lock-order: two mutexes
+// acquired in opposite orders by two call paths in the same package.
+// One direction goes through a static helper call while the first lock
+// is held (the held-set walk follows calls); the other acquires both
+// inline. Both witness sites are reported — each direction is half of
+// the inversion.
+package conclock
+
+import "sync"
+
+type account struct {
+	mu  sync.Mutex
+	log sync.Mutex
+}
+
+// deposit holds mu across a helper that takes log: the mu -> log half.
+func deposit(a *account) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	note(a)
+}
+
+// note acquires log; on its own that is fine, but deposit reaches it
+// with mu held.
+func note(a *account) {
+	a.log.Lock() // want "mutex .* acquired while .* is held, but the opposite order also occurs"
+	defer a.log.Unlock()
+}
+
+// audit takes the locks inline in the opposite order: the log -> mu
+// half, completing the inversion.
+func audit(a *account) {
+	a.log.Lock()
+	defer a.log.Unlock()
+	a.mu.Lock() // want "mutex .* acquired while .* is held, but the opposite order also occurs"
+	a.mu.Unlock()
+}

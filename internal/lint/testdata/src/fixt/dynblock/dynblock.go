@@ -1,0 +1,40 @@
+// Package dynblock is a fixture with handler-block violations reachable
+// only through dynamic dispatch: the machine's OnMsg never blocks
+// directly, but it calls an interface method and a func-typed field
+// whose module candidates (in the sibling dynblockhelp package) block.
+// A static-only call graph loses the chain at both sites; the type-set
+// index resolves them. The fixtures import each other by real module
+// path so the same sources also load under cmd/oblint without
+// ExtraRoots.
+package dynblock
+
+import (
+	"coleader/internal/lint/testdata/src/fixt/dynblockhelp"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Fan is machine-shaped (its OnMsg takes an Emitter instantiation) and
+// is therefore a handler root with no HandlerPkgs registration.
+type Fan struct {
+	sink dynblockhelp.Sink
+	wait func(chan int)
+	tick chan int
+}
+
+// NewFan wires the dynamic targets: the composite literal makes
+// ChanSink live for the interface pass, the assignment binds Wait for
+// the func-value pass.
+func NewFan(c chan int) *Fan {
+	f := &Fan{sink: &dynblockhelp.ChanSink{C: c}, tick: make(chan int)}
+	f.wait = dynblockhelp.Wait
+	return f
+}
+
+func (f *Fan) Init(e node.PulseEmitter) {}
+
+func (f *Fan) OnMsg(p pulse.Port, m pulse.Pulse, e node.PulseEmitter) {
+	e.Send(p.Opposite(), m)
+	f.sink.Put(1)
+	f.wait(f.tick)
+}

@@ -1,0 +1,29 @@
+// Package dynblockhelp holds the dynamic-dispatch targets for the
+// dynblock fixture: an interface implementation whose method performs a
+// blocking channel send, and a plain function (bound to a func-typed
+// field by the sibling package) that performs a blocking receive. Each
+// is fine on its own; the findings appear only because the module-wide
+// devirtualized call graph resolves the sibling machine's interface and
+// func-value calls here.
+package dynblockhelp
+
+// Sink is the indirection boundary the dynblock machine publishes
+// through.
+type Sink interface {
+	Put(v int)
+}
+
+// ChanSink is the only live Sink implementation in the fixture set, so
+// the CHA-narrowed resolver devirtualizes Sink.Put to this method.
+type ChanSink struct{ C chan int }
+
+// Put publishes v; with a full buffer this blocks the calling goroutine.
+func (s *ChanSink) Put(v int) {
+	s.C <- v // want "blocking channel send reachable from event handler .*OnMsg"
+}
+
+// Wait blocks until a tick arrives; the dynblock machine binds it to a
+// func-typed field and calls it from its handler.
+func Wait(tick chan int) {
+	<-tick // want "blocking channel receive reachable from event handler .*OnMsg"
+}

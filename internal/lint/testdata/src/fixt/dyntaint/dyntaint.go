@@ -1,0 +1,38 @@
+// Package dyntaint is an oblivious fixture whose payload leaks only
+// through dynamic dispatch: an interface method call carries the pulse
+// into a sibling package's classifier (the branch it takes is flagged
+// over there), and a func-typed field bound to a sibling function
+// echoes the payload back into a branch condition here. Both sinks
+// require the devirtualized call graph to resolve; a static-only graph
+// sees neither.
+package dyntaint
+
+import (
+	"coleader/internal/lint/testdata/src/fixt/dyntainthelp"
+	"coleader/internal/pulse"
+)
+
+// router fans pulses out through dynamic targets.
+type router struct {
+	d    dyntainthelp.Decider
+	echo func(pulse.Pulse) pulse.Pulse
+}
+
+// newRouter wires the dynamic targets: the composite literal makes
+// Inspect live for the interface pass, the assignment binds Ident for
+// the func-value pass.
+func newRouter() *router {
+	r := &router{d: dyntainthelp.Inspect{}}
+	r.echo = dyntainthelp.Ident
+	return r
+}
+
+// route hands its payload to the interface target and branches on a
+// value echoed back through the func-typed field.
+func (r *router) route(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	r.d.Class(m)
+	if r.echo(m) == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		forward(p.Opposite(), m)
+	}
+	forward(p, m)
+}

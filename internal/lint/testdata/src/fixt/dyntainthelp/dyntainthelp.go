@@ -1,0 +1,29 @@
+// Package dyntainthelp holds the dynamic-dispatch targets for the
+// dyntaint fixture: a classifier that branches on its pulse parameter —
+// harmless here, a model violation when an oblivious caller's payload
+// reaches it through a devirtualized interface call — and an identity
+// function that launders taint through a func value's return.
+package dyntainthelp
+
+import "coleader/internal/pulse"
+
+// Decider is the interface the dyntaint router classifies through.
+type Decider interface {
+	Class(m pulse.Pulse) int
+}
+
+// Inspect is the only live Decider implementation in the fixture set.
+type Inspect struct{}
+
+// Class branches on its argument; the finding lands when the argument
+// derives from an oblivious package's payload.
+func (Inspect) Class(m pulse.Pulse) int {
+	if m == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		return 0
+	}
+	return 1
+}
+
+// Ident returns its argument unchanged, laundering taint through a
+// func-value call's return.
+func Ident(m pulse.Pulse) pulse.Pulse { return m }

@@ -289,3 +289,44 @@ func TestFixtureAtomicCopy(t *testing.T) {
 	}
 	runFixture(t, cfg, "fixt/atomiccopy")
 }
+
+// TestFixtureDynamicBlock proves handler-block follows dynamic dispatch:
+// the machine's handler blocks only through an interface method and a
+// func-typed field, both resolved against the module type-set index to
+// targets in a sibling package.
+func TestFixtureDynamicBlock(t *testing.T) {
+	cfg := lint.Config{
+		EmitterType: "coleader/internal/node.Emitter",
+		Checks:      []string{lint.CheckHandlerBlock},
+	}
+	runFixture(t, cfg,
+		"coleader/internal/lint/testdata/src/fixt/dynblock",
+		"coleader/internal/lint/testdata/src/fixt/dynblockhelp")
+}
+
+// TestFixtureDynamicTaint proves payload taint flows through dynamic
+// dispatch: into a devirtualized interface method's parameter (the sink
+// is in the helper) and back out through a bound func value's return
+// (the sink is in the oblivious caller).
+func TestFixtureDynamicTaint(t *testing.T) {
+	cfg := lint.Config{
+		Oblivious: []string{"coleader/internal/lint/testdata/src/fixt/dyntaint"},
+		PulseType: "coleader/internal/pulse.Pulse",
+		Checks:    []string{lint.CheckObliviousTaint},
+	}
+	runFixture(t, cfg,
+		"coleader/internal/lint/testdata/src/fixt/dyntaint",
+		"coleader/internal/lint/testdata/src/fixt/dyntainthelp")
+}
+
+func TestFixtureConcLeak(t *testing.T) {
+	runFixture(t, lint.Config{Checks: []string{lint.CheckConcLeak}}, "fixt/concleak")
+}
+
+func TestFixtureConcChanDir(t *testing.T) {
+	runFixture(t, lint.Config{Checks: []string{lint.CheckConcChanDir}}, "fixt/chandir")
+}
+
+func TestFixtureConcLockOrder(t *testing.T) {
+	runFixture(t, lint.Config{Checks: []string{lint.CheckConcLockOrder}}, "fixt/conclock")
+}

@@ -493,8 +493,9 @@ func (r *netRuntime) stallReport() StallReport {
 // whenever the backlog is positive. push never blocks. pushed/taken shadow
 // the backlog in atomics so the watchdog can read queue occupancy.
 type conduit struct {
-	in     chan pulse.Pulse
-	out    chan pulse.Pulse
+	in  chan pulse.Pulse //oblint:chandir send
+	out chan pulse.Pulse //oblint:chandir recv
+
 	done   chan struct{}
 	once   sync.Once
 	jitter uint64 // 0 = no chaos; otherwise the channel's jitter state
