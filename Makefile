@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke shard-smoke
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -133,6 +133,24 @@ fault-smoke:
 	$(GO) test -race ./internal/fault/... ./internal/live/...
 	@echo "faulted replays byte-identical; fault and live packages race-clean"
 	@rm -f .fault-run-a.txt .fault-run-b.txt
+
+# shard-smoke proves the sharded engine's determinism contract end to
+# end: two parallel runs with identical parameters — randomized
+# scheduler, geometric IDs, flat bank, 7 arcs — must produce
+# byte-identical output regardless of how the OS interleaves the arc
+# workers, and the sharded/flat paths must be race-clean. The
+# event-level equivalence against the sequential engine is the
+# TestShardedMatchesSequentialReference differential inside the race
+# run.
+shard-smoke:
+	$(GO) run ./cmd/ringsim -algo alg1 -n 20000 -idgen geometric -shards 7 -flat \
+		-sched random -seed 3 2>/dev/null > .shard-run-a.txt
+	$(GO) run ./cmd/ringsim -algo alg1 -n 20000 -idgen geometric -shards 7 -flat \
+		-sched random -seed 3 2>/dev/null > .shard-run-b.txt
+	cmp .shard-run-a.txt .shard-run-b.txt
+	$(GO) test -race -run 'Shard|Flat' ./internal/sim/
+	@echo "sharded replays byte-identical; sharded/flat paths race-clean"
+	@rm -f .shard-run-a.txt .shard-run-b.txt
 
 # fuzz-smoke gives every fuzz target a short budget; used by CI.
 fuzz-smoke:

@@ -9,6 +9,7 @@
 //	ringsim -algo anonymous -n 8 -c 2 -seed 7
 //	ringsim -algo alg2 -ids 1,2,3 -live
 //	ringsim -algo alg1 -ids 4,9,2,7 -faults corrupt -fault-budget 2
+//	ringsim -algo alg1 -n 1000000 -idgen geometric -shards 8 -flat -sched canonical
 package main
 
 import (
@@ -42,8 +43,8 @@ func run() error {
 	algo := flag.String("algo", "alg2", "algorithm: alg1 | alg2 | alg3 | anonymous")
 	idsFlag := flag.String("ids", "", "comma-separated node IDs in clockwise order (alg1/alg2/alg3)")
 	flipsFlag := flag.String("flips", "", "comma-separated 0/1 port flips (alg3/anonymous; default oriented)")
-	n := flag.Int("n", 8, "ring size (anonymous only)")
-	c := flag.Float64("c", 2, "Algorithm 4 reliability parameter (anonymous only)")
+	n := flag.Int("n", 8, "ring size (anonymous and -shards modes)")
+	c := flag.Float64("c", 2, "Algorithm 4 reliability parameter (anonymous, -idgen geometric/alg4)")
 	sched := flag.String("sched", "random", "scheduler: canonical | newest | random | roundrobin | ccw-first | cw-first | flaky | hashdelay")
 	seed := flag.Int64("seed", 1, "seed for randomized components")
 	liveRun := flag.Bool("live", false, "run on the goroutine-per-node live runtime")
@@ -53,7 +54,20 @@ func run() error {
 	faults := flag.String("faults", "", "enable seeded fault injection: 'all' or a comma list of loss,dup,spurious,crash,restart,corrupt")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule (default: -seed)")
 	faultBudget := flag.Int("fault-budget", 1, "number of injections to schedule (with -faults)")
+	shards := flag.Int("shards", 0, "run the sharded parallel engine with this many ring arcs (0 = classic modes)")
+	flat := flag.Bool("flat", false, "use the struct-of-arrays machine bank (with -shards)")
+	idgen := flag.String("idgen", "consecutive", "ID generation for -shards runs without -ids: consecutive | geometric | alg4")
 	flag.Parse()
+
+	if *shards != 0 {
+		if *liveRun || *doTrace || *diagram || *faults != "" || *flipsFlag != "" {
+			return fmt.Errorf("-shards does not combine with -live/-trace/-diagram/-faults/-flips")
+		}
+		return runScale(*algo, *idsFlag, *idgen, *n, *c, *sched, *seed, *shards, *flat)
+	}
+	if *flat {
+		return fmt.Errorf("-flat requires -shards")
+	}
 
 	if *faults != "" {
 		if *doTrace || *diagram {

@@ -1,0 +1,76 @@
+package main
+
+// Wall-clock reporting for long sharded runs lives in this file alone:
+// it is the one place in cmd/ringsim allowed to read real time (see
+// internal/lint policy TimeExemptFiles). Simulation logic never does.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"coleader/internal/pulse"
+	"coleader/internal/sim"
+)
+
+// progressEvery paces the stderr progress line of a sharded run.
+const progressEvery = 5 * time.Second
+
+// watchProgress reports a running sharded election to stderr every few
+// seconds — delivered/sent pulses against the predicted total, completed
+// epochs, and resident set size — and prints one final timing line when
+// the returned stop function runs. Sharded.Progress is the engine's only
+// concurrency-safe accessor, so the reporter touches nothing else.
+func watchProgress(s *sim.Sharded[pulse.Pulse], predicted uint64) (stop func()) {
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(progressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				delivered, sent, epochs := s.Progress()
+				fmt.Fprintf(os.Stderr, "ringsim: %s  delivered=%d/%d sent=%d epochs=%d rss=%dMB\n",
+					time.Since(start).Round(time.Second), delivered, predicted, sent, epochs, rssMB())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		delivered, _, epochs := s.Progress()
+		fmt.Fprintf(os.Stderr, "ringsim: finished in %s  delivered=%d epochs=%d peak-rss=%dMB\n",
+			time.Since(start).Round(time.Millisecond), delivered, epochs, rssMB())
+	}
+}
+
+// rssMB returns the process's current resident set size in MiB, read
+// from /proc/self/status; 0 where the file or field is unavailable.
+func rssMB() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

@@ -6,7 +6,8 @@
 // (E7), Proposition 19 (E8), and exhaustive small-ring schedule checking
 // (E9). Later experiments probe beyond the paper's model: stabilization
 // timelines (E10), knowledge ablation (E11), transport width (E12),
-// redundancy composition (E13), and seeded fault injection (E14).
+// redundancy composition (E13), seeded fault injection (E14), and the
+// sharded simulator's scale and schedule-equivalence (E15).
 // cmd/experiments renders them; EXPERIMENTS.md records the outputs
 // against the paper's statements.
 package experiments
@@ -57,6 +58,7 @@ func All() []Experiment {
 		{"E12", "Transport ablation: chunk width vs pulse cost in the universal simulation layer", E12},
 		{"E13", "Section 1.1 r-redundancy composition: correctness preserved at exactly (r+1)-fold cost", E13},
 		{"E14", "Fault plane: stabilizing algorithms heal early output corruption exactly; the terminating algorithm breaks under conservation-violating faults", E14},
+		{"E15", "Sharded engine: geometric-ID elections cost Theta(n log n) pulses to million-node rings, with arc parallelism provably schedule-equivalent", E15},
 	}
 }
 

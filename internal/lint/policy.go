@@ -30,6 +30,7 @@ func DefaultConfig() Config {
 		TimeExempt: []string{i("live")},
 		TimeExemptFiles: []string{
 			"cmd/experiments/main.go", // times table generation for display
+			"cmd/ringsim/progress.go", // paces the stderr progress ticker
 		},
 
 		// Replay determinism: the simulator, the core algorithms, the
@@ -89,9 +90,10 @@ func DefaultConfig() Config {
 		},
 		LayerExempt: []string{m + "/cmd", m + "/examples"},
 
-		// Packages with real shared-memory concurrency: the live runtime
-		// and the parallel exhaustive explorer.
-		AtomicPkgs: []string{i("live"), i("check")},
+		// Packages with real shared-memory concurrency: the live runtime,
+		// the parallel exhaustive explorer, and the sharded simulator
+		// (arc workers plus epoch-granular progress counters).
+		AtomicPkgs: []string{i("live"), i("check"), i("sim")},
 
 		// Machines whose Init/OnMsg handlers run inline on the event loops
 		// of internal/sim and internal/live: the algorithms, the universal

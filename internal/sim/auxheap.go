@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"coleader/internal/pulse"
+)
+
+// auxHeap is one scheduler-requested priority heap over deliverable
+// channel heads (see HeapHinted). Like the oldest-message heap it is
+// lazily validated: entries are checked against the live queues on
+// inspection and stale ones dropped, and mark deduplicates pushes so
+// each (channel, head-seq) pair is enqueued at most once per heap.
+type auxHeap struct {
+	kind HeapKind
+	dir  pulse.Direction                // HeapDirOldest: covered direction
+	rank func(c int, seq uint64) uint64 // HeapRank: key function
+
+	h    []auxEntry
+	mark []uint64 // last seq pushed per channel; 0 = none
+}
+
+type auxEntry struct {
+	key uint64
+	seq uint64
+	c   int32
+}
+
+// auxLess orders candidates by key, breaking ties toward the smaller
+// channel id — exactly the winner of the ascending Deliverable() scan
+// the heap replaces, so heap and scan pick identically even if two
+// messages hash to the same rank. (For HeapNewest and HeapDirOldest the
+// key is a sequence number or its complement, which is unique, so the
+// tie-break never fires there.)
+func auxLess(a, b auxEntry) bool {
+	return a.key < b.key || (a.key == b.key && a.c < b.c)
+}
+
+// installHeapHints wires the aux heaps the scheduler asked for. Called
+// from the constructors after options ran, and skipped entirely in
+// rescan mode so the rescan reference stays a heap-free oracle: the
+// optimized-vs-rescan differential then proves heap picks equal scan
+// picks for every hinted scheduler.
+func (s *Sim[M]) installHeapHints() {
+	hh, ok := s.sched.(HeapHinted)
+	if !ok {
+		return
+	}
+	for _, hint := range hh.HeapHints() {
+		s.aux = append(s.aux, auxHeap{
+			kind: hint.Kind,
+			dir:  hint.Dir,
+			rank: hint.Rank,
+			mark: make([]uint64, len(s.queues)),
+		})
+	}
+}
+
+// auxPush registers the deliverable head (c, seq) in every aux heap
+// covering c. It runs from refreshChan alongside the oldest-heap push,
+// which maintains the invariant that every currently deliverable
+// channel has a valid entry in every direction-matching aux heap.
+func (s *Sim[M]) auxPush(c int, seq uint64) {
+	for i := range s.aux {
+		a := &s.aux[i]
+		if a.kind == HeapDirOldest && s.chanDir[c] != a.dir {
+			continue
+		}
+		if a.mark[c] == seq {
+			continue
+		}
+		a.mark[c] = seq
+		var key uint64
+		switch a.kind {
+		case HeapNewest:
+			key = ^seq
+		case HeapDirOldest:
+			key = seq
+		case HeapRank:
+			key = a.rank(c, seq)
+		}
+		a.push(auxEntry{key: key, seq: seq, c: int32(c)})
+	}
+}
+
+func (a *auxHeap) push(e auxEntry) {
+	h := append(a.h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !auxLess(h[i], h[parent]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	a.h = h
+}
+
+// drop removes the root, clearing its dedup mark if it still owns it.
+func (a *auxHeap) drop() {
+	h := a.h
+	top := h[0]
+	if a.mark[top.c] == top.seq {
+		a.mark[top.c] = 0
+	}
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && auxLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && auxLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	a.h = h
+}
+
+// auxBest returns the smallest-key channel of aux heap i that is still
+// deliverable with the head it was registered under, dropping stale
+// entries on the way. ok is false only when no covered channel is
+// deliverable (possible for direction-filtered heaps; for unfiltered
+// heaps the push invariant makes ok true whenever anything is
+// deliverable at all).
+func (s *Sim[M]) auxBest(i int) (int, bool) {
+	a := &s.aux[i]
+	for len(a.h) > 0 {
+		top := a.h[0]
+		c := int(top.c)
+		if s.deliv.get(c) && s.queues[c].front().seq == top.seq {
+			return c, true
+		}
+		a.drop()
+	}
+	return 0, false
+}
+
+// auxFind locates the aux heap of the given kind (and direction, for
+// HeapDirOldest); -1 when the scheduler registered none.
+func (s *Sim[M]) auxFind(kind HeapKind, dir pulse.Direction) int {
+	for i := range s.aux {
+		if s.aux[i].kind == kind && (kind != HeapDirOldest || s.aux[i].dir == dir) {
+			return i
+		}
+	}
+	return -1
+}

@@ -34,6 +34,64 @@ type OldestView interface {
 	OldestDeliverable() (c int, ok bool)
 }
 
+// HeapKind selects the ordering of a scheduler aux heap (see HeapHinted).
+type HeapKind uint8
+
+// Aux heap orderings.
+const (
+	// HeapNewest: largest head sequence number first (Newest's pick).
+	HeapNewest HeapKind = iota + 1
+	// HeapDirOldest: smallest head sequence number among messages
+	// traveling a fixed direction (DirBiased's preferred-direction pick).
+	HeapDirOldest
+	// HeapRank: smallest Rank(channel, head seq) first (HashDelay's pick).
+	HeapRank
+)
+
+// HeapHint asks the simulator to maintain one incrementally updated
+// priority heap over deliverable channel heads on the scheduler's
+// behalf.
+type HeapHint struct {
+	Kind HeapKind
+	Dir  pulse.Direction                // HeapDirOldest only
+	Rank func(c int, seq uint64) uint64 // HeapRank only; must be pure
+}
+
+// HeapHinted is implemented by schedulers that want aux heaps: the
+// simulator consults it once at construction (never in rescan mode, so
+// the rescan reference exercises the plain scans) and serves the heaps
+// back through the NewestView / DirOldestView / RankedView fast paths.
+// A heap-served pick must equal the corresponding Deliverable() scan's
+// pick exactly — the optimized-vs-rescan scheduler-trace differential
+// asserts this for every stock scheduler.
+type HeapHinted interface {
+	HeapHints() []HeapHint
+}
+
+// NewestView is an optional fast path: the deliverable channel whose
+// head has the largest sequence number, in O(log n). ok is false when
+// the fast path is unavailable and the caller must scan.
+type NewestView interface {
+	NewestDeliverable() (c int, ok bool)
+}
+
+// DirOldestView is an optional fast path: the deliverable channel with
+// the smallest head sequence number among messages traveling d. ok is
+// false when the fast path is unavailable (fall back to the scan);
+// c = -1 with ok true means the fast path is live and no deliverable
+// message travels d at all.
+type DirOldestView interface {
+	OldestDeliverableDir(d pulse.Direction) (c int, ok bool)
+}
+
+// RankedView is an optional fast path: the deliverable channel
+// minimizing the rank function the scheduler registered via a HeapRank
+// hint, with ties broken toward the smaller channel id (the scan's
+// tie-break). ok is false when the fast path is unavailable.
+type RankedView interface {
+	MinRankDeliverable() (c int, ok bool)
+}
+
 type view[M any] struct{ s *Sim[M] }
 
 func (v *view[M]) Deliverable() []int              { return v.s.Deliverable() }
@@ -42,6 +100,31 @@ func (v *view[M]) QueueLen(c int) int              { return v.s.QueueLen(c) }
 func (v *view[M]) Direction(c int) pulse.Direction { return v.s.chanDir[c] }
 func (v *view[M]) Step() uint64                    { return v.s.step }
 func (v *view[M]) OldestDeliverable() (int, bool)  { return v.s.oldestDeliverable() }
+
+func (v *view[M]) NewestDeliverable() (int, bool) {
+	if i := v.s.auxFind(HeapNewest, 0); i >= 0 {
+		return v.s.auxBest(i)
+	}
+	return 0, false
+}
+
+func (v *view[M]) OldestDeliverableDir(d pulse.Direction) (int, bool) {
+	i := v.s.auxFind(HeapDirOldest, d)
+	if i < 0 {
+		return 0, false
+	}
+	if c, ok := v.s.auxBest(i); ok {
+		return c, true
+	}
+	return -1, true
+}
+
+func (v *view[M]) MinRankDeliverable() (int, bool) {
+	if i := v.s.auxFind(HeapRank, 0); i >= 0 {
+		return v.s.auxBest(i)
+	}
+	return 0, false
+}
 
 // Scheduler chooses the next delivery. Next is called only when at least
 // one channel is deliverable and must return one of View.Deliverable().
@@ -83,6 +166,11 @@ type Newest struct{}
 
 // Next implements Scheduler.
 func (Newest) Next(v View) int {
+	if nv, ok := v.(NewestView); ok {
+		if c, ok := nv.NewestDeliverable(); ok {
+			return c
+		}
+	}
 	ds := v.Deliverable()
 	best := ds[0]
 	for _, c := range ds[1:] {
@@ -92,6 +180,9 @@ func (Newest) Next(v View) int {
 	}
 	return best
 }
+
+// HeapHints implements HeapHinted: a max-sequence heap replaces the scan.
+func (Newest) HeapHints() []HeapHint { return []HeapHint{{Kind: HeapNewest}} }
 
 // Random delivers a uniformly random in-flight deliverable message
 // (channels weighted by queue length). Deterministic for a fixed seed.
@@ -151,6 +242,17 @@ type DirBiased struct {
 
 // Next implements Scheduler.
 func (d DirBiased) Next(v View) int {
+	if dv, ok := v.(DirOldestView); ok {
+		if c, ok := dv.OldestDeliverableDir(d.Prefer); ok {
+			if c >= 0 {
+				return c
+			}
+			// Fast path live, no preferred-direction candidate: fall
+			// through to the canonical pick, same as the scan's "not
+			// found" branch.
+			return Canonical{}.Next(v)
+		}
+	}
 	ds := v.Deliverable()
 	best, found := 0, false
 	for _, c := range ds {
@@ -165,6 +267,13 @@ func (d DirBiased) Next(v View) int {
 		return best
 	}
 	return Canonical{}.Next(v)
+}
+
+// HeapHints implements HeapHinted: a per-direction oldest heap over the
+// preferred direction replaces the scan (the fallback pick rides the
+// canonical oldest heap that is always maintained).
+func (d DirBiased) HeapHints() []HeapHint {
+	return []HeapHint{{Kind: HeapDirOldest, Dir: d.Prefer}}
 }
 
 // Laggy alternates bursts of canonical delivery with bursts of random
@@ -224,6 +333,11 @@ func NewHashDelay(seed int64) HashDelay { return HashDelay{seed: uint64(seed)} }
 
 // Next implements Scheduler.
 func (h HashDelay) Next(v View) int {
+	if rv, ok := v.(RankedView); ok {
+		if c, ok := rv.MinRankDeliverable(); ok {
+			return c
+		}
+	}
 	ds := v.Deliverable()
 	best, bestRank := ds[0], h.rank(ds[0], v.HeadSeq(ds[0]))
 	for _, c := range ds[1:] {
@@ -232,6 +346,12 @@ func (h HashDelay) Next(v View) int {
 		}
 	}
 	return best
+}
+
+// HeapHints implements HeapHinted: a min-rank heap keyed by the same
+// (seed, channel, seq) hash replaces the scan.
+func (h HashDelay) HeapHints() []HeapHint {
+	return []HeapHint{{Kind: HeapRank, Rank: h.rank}}
 }
 
 // rank is an xorshift-style mix of (seed, channel, seq).

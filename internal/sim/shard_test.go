@@ -1,0 +1,409 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"coleader/internal/core"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+	"coleader/internal/sim"
+)
+
+// shardInstance is one algorithm/topology configuration exercised by the
+// shard differential, in both machine representations: a pointer-machine
+// slice (for the sequential reference and the pointer-mode sharded run)
+// and a struct-of-arrays bank (for the flat-mode sharded run).
+type shardInstance struct {
+	name     string
+	topo     func() (ring.Topology, error)
+	machines func() ([]node.PulseMachine, error)
+	bank     func() (node.FlatPulseMachine, error)
+	budget   uint64
+}
+
+func shardInstances() []shardInstance {
+	return []shardInstance{
+		{
+			name: "alg1/dup-ids",
+			topo: func() (ring.Topology, error) { return ring.Oriented(4) },
+			machines: func() ([]node.PulseMachine, error) {
+				topo, err := ring.Oriented(4)
+				if err != nil {
+					return nil, err
+				}
+				return core.Alg1Machines(topo, []uint64{2, 2, 1, 2})
+			},
+			bank: func() (node.FlatPulseMachine, error) {
+				topo, err := ring.Oriented(4)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewFlatAlg1(topo, []uint64{2, 2, 1, 2})
+			},
+			budget: 4*core.PredictedAlg1Pulses(4, 2) + 1024,
+		},
+		{
+			name: "alg2/oriented",
+			topo: func() (ring.Topology, error) { return ring.Oriented(5) },
+			machines: func() ([]node.PulseMachine, error) {
+				topo, err := ring.Oriented(5)
+				if err != nil {
+					return nil, err
+				}
+				return core.Alg2Machines(topo, []uint64{3, 1, 4, 2, 5})
+			},
+			bank: func() (node.FlatPulseMachine, error) {
+				topo, err := ring.Oriented(5)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewFlatAlg2(topo, []uint64{3, 1, 4, 2, 5})
+			},
+			budget: 4*core.PredictedAlg2Pulses(5, 5) + 1024,
+		},
+		{
+			name: "alg3/non-oriented",
+			topo: func() (ring.Topology, error) { return ring.NonOriented([]bool{true, false, true}) },
+			machines: func() ([]node.PulseMachine, error) {
+				return core.Alg3Machines(3, []uint64{2, 1, 3}, core.SchemeSuccessor)
+			},
+			bank: func() (node.FlatPulseMachine, error) {
+				return core.NewFlatAlg3(3, []uint64{2, 1, 3}, core.SchemeSuccessor)
+			},
+			budget: 4*core.PredictedAlg3Pulses(3, 3, core.SchemeSuccessor) + 1024,
+		},
+	}
+}
+
+// TestShardedMatchesSequentialReference is the shard differential: for
+// every stock scheduler family x seed x algorithm x shard count, the
+// parallel sharded engine — in both pointer-machine and flat
+// struct-of-arrays mode — must produce an event-for-event identical
+// trace and a DeepEqual Result against ShardReferenceRun, which executes
+// the identical epoch schedule on the sequential engine one handler at a
+// time. Agreement proves the arc workers, the provisional-sequence
+// renumbering, and the barrier merge change no observable behavior.
+func TestShardedMatchesSequentialReference(t *testing.T) {
+	var schedNames []string
+	for name := range sim.StockSharded(1) {
+		schedNames = append(schedNames, name)
+	}
+	for _, inst := range shardInstances() {
+		for _, schedName := range schedNames {
+			for _, seed := range []int64{1, 2, 7} {
+				for _, shards := range []int{1, 2, 7} {
+					name := fmt.Sprintf("%s/%s/seed=%d/shards=%d", inst.name, schedName, seed, shards)
+					t.Run(name, func(t *testing.T) {
+						mk := sim.StockSharded(seed)[schedName]
+
+						refEv, refRes, refErr := runShardReference(t, inst, mk, shards)
+						ptrEv, ptrRes, ptrErr := runSharded(t, inst, mk, shards, false)
+						flatEv, flatRes, flatErr := runSharded(t, inst, mk, shards, true)
+
+						compareShardRuns(t, "sharded/pointer", refEv, refRes, refErr, ptrEv, ptrRes, ptrErr)
+						compareShardRuns(t, "sharded/flat", refEv, refRes, refErr, flatEv, flatRes, flatErr)
+					})
+				}
+			}
+		}
+	}
+}
+
+func compareShardRuns(t *testing.T, label string,
+	refEv []sim.Event, refRes sim.Result, refErr error,
+	gotEv []sim.Event, gotRes sim.Result, gotErr error,
+) {
+	t.Helper()
+	if (refErr == nil) != (gotErr == nil) ||
+		(refErr != nil && refErr.Error() != gotErr.Error()) {
+		t.Fatalf("%s: run errors diverge: reference %v, got %v", label, refErr, gotErr)
+	}
+	if len(refEv) != len(gotEv) {
+		t.Fatalf("%s: trace lengths diverge: reference %d events, got %d", label, len(refEv), len(gotEv))
+	}
+	for i := range refEv {
+		if !reflect.DeepEqual(refEv[i], gotEv[i]) {
+			t.Fatalf("%s: event %d diverges:\nreference %+v\ngot       %+v", label, i, refEv[i], gotEv[i])
+		}
+	}
+	if !reflect.DeepEqual(refRes, gotRes) {
+		t.Fatalf("%s: results diverge:\nreference %+v\ngot       %+v", label, refRes, gotRes)
+	}
+}
+
+// runShardReference executes the epoch schedule on the sequential engine.
+func runShardReference(t *testing.T, inst shardInstance, mk sim.MkScheduler, shards int,
+) ([]sim.Event, sim.Result, error) {
+	t.Helper()
+	topo, err := inst.topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := inst.machines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []sim.Event
+	// The driving scheduler is irrelevant: ShardReferenceRun picks every
+	// delivery itself through the per-arc scheduler instances.
+	s, err := sim.New(topo, ms, sim.Canonical{},
+		sim.WithObserver[pulse.Pulse](sim.ObserverFunc[pulse.Pulse](
+			func(e *sim.Event, _ *sim.Sim[pulse.Pulse]) error {
+				cp := *e
+				cp.Sends = append([]sim.SendRec(nil), e.Sends...)
+				events = append(events, cp)
+				return nil
+			})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, runErr := sim.ShardReferenceRun(s, shards, mk, inst.budget)
+	return events, res, runErr
+}
+
+// runSharded executes the parallel engine in pointer or flat mode.
+func runSharded(t *testing.T, inst shardInstance, mk sim.MkScheduler, shards int, flat bool,
+) ([]sim.Event, sim.Result, error) {
+	t.Helper()
+	topo, err := inst.topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []sim.Event
+	obs := sim.WithShardObserver[pulse.Pulse](sim.ShardObserverFunc[pulse.Pulse](
+		func(e *sim.Event, _ *sim.Sharded[pulse.Pulse]) error {
+			cp := *e
+			cp.Sends = append([]sim.SendRec(nil), e.Sends...)
+			events = append(events, cp)
+			return nil
+		}))
+	var s *sim.Sharded[pulse.Pulse]
+	if flat {
+		bank, err := inst.bank()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err = sim.NewShardedFlat(topo, bank, shards, mk, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		ms, err := inst.machines()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err = sim.NewSharded(topo, ms, shards, mk, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, runErr := s.Run(inst.budget)
+	return events, res, runErr
+}
+
+// TestShardedOutcomeMatchesPlainRun cross-checks the epoch schedule
+// against an ordinary (non-epoch) sequential run under the same
+// scheduler family: the delivery ORDER legitimately differs, but
+// content-oblivious executions are confluent, so the election outcome
+// and the pulse totals must agree.
+func TestShardedOutcomeMatchesPlainRun(t *testing.T) {
+	for _, inst := range shardInstances() {
+		t.Run(inst.name, func(t *testing.T) {
+			topo, err := inst.topo()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := inst.machines()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := sim.New(topo, ms, sim.Canonical{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainRes, err := plain.Run(inst.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := sim.StockSharded(3)["canonical"]
+			ms2, err := inst.machines()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := sim.NewSharded(topo, ms2, 2, mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shRes, err := sh.Run(inst.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shRes.Leader != plainRes.Leader ||
+				!reflect.DeepEqual(shRes.Leaders, plainRes.Leaders) ||
+				!reflect.DeepEqual(shRes.Statuses, plainRes.Statuses) ||
+				shRes.Sent != plainRes.Sent ||
+				shRes.Delivered != plainRes.Delivered ||
+				shRes.Quiescent != plainRes.Quiescent {
+				t.Fatalf("outcomes diverge:\nplain   %+v\nsharded %+v", plainRes, shRes)
+			}
+		})
+	}
+}
+
+// TestShardedSingleUse asserts the one-shot contract.
+func TestShardedSingleUse(t *testing.T) {
+	topo, err := ring.Oriented(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ring.ConsecutiveIDs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewSharded(topo, ms, 2, sim.StockSharded(1)["canonical"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1 << 20); err == nil {
+		t.Fatal("second Run succeeded, want single-use error")
+	}
+}
+
+// TestShardedConstructorValidation covers the bounds the CLI relies on.
+func TestShardedConstructorValidation(t *testing.T) {
+	topo, err := ring.Oriented(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ring.ConsecutiveIDs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := sim.StockSharded(1)["canonical"]
+	if _, err := sim.NewSharded(topo, ms, 0, mk); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := sim.NewSharded(topo, ms, 2, nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if _, err := sim.NewSharded(topo, ms[:2], 2, mk); err == nil {
+		t.Fatal("machine/node count mismatch accepted")
+	}
+	// Oversized shard counts clamp to one node per arc.
+	s, err := sim.NewSharded(topo, ms, 99, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d after clamping, want 4", got)
+	}
+	bank, err := core.NewFlatAlg2(topo, ring.ConsecutiveIDs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.NewShardedFlat[pulse.Pulse](topo, nil, 2, mk); err == nil {
+		t.Fatal("nil bank accepted")
+	}
+	if _, err := sim.NewShardedFlat(topo, bank, 2, nil); err == nil {
+		t.Fatal("nil factory accepted for flat bank")
+	}
+}
+
+// TestFlatMatchesPointerMachines is the representation differential on
+// the sequential engine: for every stock scheduler, a flat
+// struct-of-arrays bank driven through sim.NewFlat must produce an
+// event-for-event identical trace and Result to the pointer-machine
+// slice it mirrors. (The sharded differential covers flat banks under
+// the epoch schedule; this one pins the plain schedule.)
+func TestFlatMatchesPointerMachines(t *testing.T) {
+	for _, inst := range shardInstances() {
+		for schedName := range sim.Stock(1) {
+			t.Run(inst.name+"/"+schedName, func(t *testing.T) {
+				trace := func(flat bool) ([]sim.Event, sim.Result, error) {
+					topo, err := inst.topo()
+					if err != nil {
+						t.Fatal(err)
+					}
+					var events []sim.Event
+					obs := sim.WithObserver[pulse.Pulse](sim.ObserverFunc[pulse.Pulse](
+						func(e *sim.Event, _ *sim.Sim[pulse.Pulse]) error {
+							cp := *e
+							cp.Sends = append([]sim.SendRec(nil), e.Sends...)
+							events = append(events, cp)
+							return nil
+						}))
+					sched := sim.Stock(5)[schedName]
+					var s *sim.Sim[pulse.Pulse]
+					if flat {
+						bank, err := inst.bank()
+						if err != nil {
+							t.Fatal(err)
+						}
+						s, err = sim.NewFlat(topo, bank, sched, obs)
+						if err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						ms, err := inst.machines()
+						if err != nil {
+							t.Fatal(err)
+						}
+						s, err = sim.New(topo, ms, sched, obs)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					res, runErr := s.Run(inst.budget)
+					return events, res, runErr
+				}
+				ptrEv, ptrRes, ptrErr := trace(false)
+				flatEv, flatRes, flatErr := trace(true)
+				compareShardRuns(t, "flat", ptrEv, ptrRes, ptrErr, flatEv, flatRes, flatErr)
+			})
+		}
+	}
+}
+
+// TestShardedFlatAllocs asserts the struct-of-arrays delivery path stays
+// allocation-free: a full n=64 Algorithm 2 election (8256 pulses) across
+// 4 arcs must fit construction plus the whole run in 2000 allocations,
+// which only holds if per-delivery cost is zero (events, per-step
+// deliverable slices, or emitter churn would each exceed it by orders of
+// magnitude). The bound is looser than the sequential test's only for
+// the fixed per-run worker/heap setup.
+func TestShardedFlatAllocs(t *testing.T) {
+	const n = 64
+	run := func() {
+		topo, err := ring.Oriented(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := ring.ConsecutiveIDs(n)
+		bank, err := core.NewFlatAlg2(topo, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.NewShardedFlat(topo, bank, 4, sim.StockSharded(1)["canonical"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := core.PredictedAlg2Pulses(n, ring.MaxID(ids))
+		res, err := s.Run(4*pred + 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sent != pred {
+			t.Fatalf("sent %d pulses, want %d", res.Sent, pred)
+		}
+	}
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > 2000 {
+		t.Fatalf("construction + run allocated %.0f objects, want <= 2000 (delivery path must not allocate)", allocs)
+	}
+}

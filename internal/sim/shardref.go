@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"coleader/internal/pulse"
+)
+
+// ShardReferenceRun drives a fresh sequential Sim through exactly the
+// epoch schedule the sharded engine executes for the same (topology,
+// shard count, scheduler factory): arcs visited in index order within
+// each epoch, each arc draining its frozen deliverable set under its
+// own scheduler instance. It is the oracle of the shard differential
+// tests — its per-event observer stream and final Result must be
+// byte-identical to Sharded.Run's, which proves the parallel engine
+// equivalent to a sequential execution.
+//
+// s must be freshly constructed and not otherwise driven. The epoch
+// schedule itself never consults global state mid-arc, so the runs
+// stays a plain sequence of InitNode and Deliver calls on s.
+func ShardReferenceRun[M any](s *Sim[M], shards int, mk MkScheduler, limit uint64) (Result, error) {
+	if mk == nil {
+		return s.Result(), errors.New("sim: nil scheduler factory")
+	}
+	n := s.topo.N()
+	if shards < 1 {
+		return s.Result(), fmt.Errorf("sim: shard count %d must be at least 1", shards)
+	}
+	if shards > n {
+		shards = n
+	}
+	arcs := make([]refArc[M], shards)
+	for i := range arcs {
+		a := &arcs[i]
+		a.view.s = s
+		a.view.lo = i * n / shards
+		a.view.hi = (i + 1) * n / shards
+		a.sched = mk(i)
+		if a.sched == nil {
+			return s.Result(), fmt.Errorf("sim: scheduler factory returned nil for arc %d", i)
+		}
+	}
+
+	// Epoch 0: wake every node, arc-major = plain index order.
+	for k := 0; k < n; k++ {
+		if err := s.InitNode(k); err != nil {
+			return s.Result(), err
+		}
+	}
+
+	for {
+		if s.step >= limit {
+			return s.Result(), s.fail(fmt.Errorf("%w (%d)", ErrStepLimit, limit))
+		}
+		// Barrier: freeze at the current global sequence number. Every
+		// queued message was sent in a completed epoch, so the frozen
+		// sets cover all of InFlight; empty frozen sets mean the same
+		// quiescence or stall RunDeliveries reports.
+		boundary := s.seq
+		stepBase := s.step
+		total := 0
+		for i := range arcs {
+			v := &arcs[i].view
+			v.boundary, v.stepBase, v.localSteps = boundary, stepBase, 0
+			total += len(v.Deliverable())
+		}
+		if total == 0 {
+			if s.InFlight() == 0 {
+				return s.Result(), nil
+			}
+			if s.allTerminated() {
+				return s.Result(), s.fail(fmt.Errorf("%w: %d in flight after all nodes terminated",
+					ErrTerminatedNonEmpty, s.InFlight()))
+			}
+			return s.Result(), s.fail(fmt.Errorf("%w: %d in flight", ErrStalled, s.InFlight()))
+		}
+		for i := range arcs {
+			a := &arcs[i]
+			for {
+				frozen := a.view.Deliverable()
+				if len(frozen) == 0 {
+					break
+				}
+				c := a.sched.Next(&a.view)
+				ok := false
+				for _, fc := range frozen {
+					if fc == c {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return s.Result(), s.fail(fmt.Errorf(
+						"sim: scheduler picked channel %d outside the frozen deliverable set", c))
+				}
+				if err := s.Deliver(c); err != nil {
+					return s.Result(), err
+				}
+				a.view.localSteps++
+			}
+		}
+	}
+}
+
+type refArc[M any] struct {
+	sched Scheduler
+	view  refArcView[M]
+}
+
+// refArcView is the sequential twin of arcView: the frozen deliverable
+// set of one arc, derived by filtering the live simulator's deliverable
+// set down to in-arc channels with frozen heads. It implements only the
+// base View — schedulers take their scan paths, and since sequence
+// numbers are unique those scans pick exactly what arcView's frozen
+// heap serves, keeping the two engines' decisions aligned without
+// sharing code.
+type refArcView[M any] struct {
+	s          *Sim[M]
+	lo, hi     int
+	boundary   uint64
+	stepBase   uint64
+	localSteps uint64
+	scratch    []int
+}
+
+func (v *refArcView[M]) Deliverable() []int {
+	v.scratch = v.scratch[:0]
+	for _, c := range v.s.Deliverable() {
+		if c >= 2*v.lo && c < 2*v.hi && v.s.headSeq(c) <= v.boundary {
+			v.scratch = append(v.scratch, c)
+		}
+	}
+	return v.scratch
+}
+
+func (v *refArcView[M]) HeadSeq(c int) uint64 { return v.s.headSeq(c) }
+func (v *refArcView[M]) QueueLen(c int) int   { return frozenLen(&v.s.queues[c], v.boundary) }
+func (v *refArcView[M]) Direction(c int) pulse.Direction {
+	return v.s.chanDir[c]
+}
+func (v *refArcView[M]) Step() uint64 { return v.stepBase + v.localSteps }

@@ -103,8 +103,13 @@ type Result struct {
 // then either call Run, or drive manually with InitNode/Deliver for
 // fine-grained schedule control.
 type Sim[M any] struct {
-	topo     ring.Topology
+	topo ring.Topology
+	// The machine bank: exactly one of machines (one heap object per
+	// node) and flat (a struct-of-arrays FlatMachine bank, see NewFlat)
+	// is non-nil; every handler, Ready, and Status access goes through
+	// the m* dispatch helpers.
 	machines []node.Machine[M]
+	flat     node.FlatMachine[M]
 	sched    Scheduler
 	obs      []Observer[M]
 
@@ -138,6 +143,13 @@ type Sim[M any] struct {
 	// (channel, seq) pair is enqueued at most once.
 	oldest  []heapEntry
 	heapSeq []uint64 // last seq pushed per channel; 0 = none
+
+	// aux holds the scheduler-requested priority heaps (see HeapHinted):
+	// lazily validated like oldest, but ordered by a per-heap key so
+	// Newest, DirBiased, and HashDelay get their picks in O(log n) too.
+	// Empty unless the scheduler asked, and always empty in rescan mode,
+	// which keeps the rescan reference a heap-free oracle.
+	aux []auxHeap
 
 	step      uint64
 	seq       uint64
@@ -193,6 +205,28 @@ func (q *fifo[M]) pop() entry[M] {
 }
 
 func (q *fifo[M]) front() *entry[M] { return &q.buf[q.head] }
+
+// at returns the i-th queued entry (0 = front). i must be < n.
+func (q *fifo[M]) at(i int) *entry[M] { return &q.buf[(q.head+i)&(len(q.buf)-1)] }
+
+// frozenLen returns how many of q's entries carry a sequence number at
+// or below boundary. Entries are queued in strictly ascending sequence
+// order (FIFO channels, single sender, monotone numbering), so the
+// frozen messages form a prefix and a binary search finds its length.
+// The sharded engine and its sequential reference driver both use this
+// as the scheduler-visible queue length during an epoch.
+func frozenLen[M any](q *fifo[M], boundary uint64) int {
+	lo, hi := 0, q.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.at(mid).seq <= boundary {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // heapEntry is one candidate in the oldest-deliverable min-heap.
 type heapEntry struct {
@@ -313,30 +347,27 @@ func WithRescanDeliverable[M any]() Option[M] {
 	return func(s *Sim[M]) { s.rescan = true }
 }
 
-// New builds a simulation of machines on topology t driven by sched.
-// len(machines) must equal t.N().
-func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, opts ...Option[M]) (*Sim[M], error) {
-	if len(machines) != t.N() {
-		return nil, fmt.Errorf("sim: %d machines for %d nodes", len(machines), t.N())
-	}
+// newSim builds the machine-free core of a simulation: queues, wiring
+// caches, and the incremental deliverable machinery. New and NewFlat
+// attach their machine banks and apply options on top.
+func newSim[M any](t ring.Topology, sched Scheduler) (*Sim[M], error) {
 	if sched == nil {
 		return nil, errors.New("sim: nil scheduler")
 	}
 	n := t.N()
 	s := &Sim[M]{
-		topo:     t,
-		machines: machines,
-		sched:    sched,
-		queues:   make([]fifo[M], 2*n),
-		inited:   make([]bool, n),
-		termAt:   make([]uint64, n),
-		chanDir:  make([]pulse.Direction, 2*n),
-		outDir:   make([]pulse.Direction, 2*n),
-		peer:     make([]ring.Endpoint, 2*n),
-		peerCh:   make([]int, 2*n),
-		deliv:    make(bitset, (2*n+63)/64),
-		heapSeq:  make([]uint64, 2*n),
-		crashed:  make([]bool, n),
+		topo:    t,
+		sched:   sched,
+		queues:  make([]fifo[M], 2*n),
+		inited:  make([]bool, n),
+		termAt:  make([]uint64, n),
+		chanDir: make([]pulse.Direction, 2*n),
+		outDir:  make([]pulse.Direction, 2*n),
+		peer:    make([]ring.Endpoint, 2*n),
+		peerCh:  make([]int, 2*n),
+		deliv:   make(bitset, (2*n+63)/64),
+		heapSeq: make([]uint64, 2*n),
+		crashed: make([]bool, n),
 	}
 	for k := 0; k < n; k++ {
 		for _, p := range []pulse.Port{pulse.Port0, pulse.Port1} {
@@ -352,13 +383,96 @@ func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, op
 		}
 	}
 	s.em.s = s
+	return s, nil
+}
+
+// finish applies options and wires the scheduler's aux heaps; the bank
+// must already be attached (options and hints may consult it).
+func (s *Sim[M]) finish(opts []Option[M]) {
 	for _, o := range opts {
 		o(s)
 	}
+	if !s.rescan {
+		s.installHeapHints()
+	}
+}
+
+// New builds a simulation of machines on topology t driven by sched.
+// len(machines) must equal t.N().
+func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, opts ...Option[M]) (*Sim[M], error) {
+	if len(machines) != t.N() {
+		return nil, fmt.Errorf("sim: %d machines for %d nodes", len(machines), t.N())
+	}
+	s, err := newSim[M](t, sched)
+	if err != nil {
+		return nil, err
+	}
+	s.machines = machines
+	s.finish(opts)
 	if s.plane != nil {
 		s.captureInitialSnapshots()
 	}
 	return s, nil
+}
+
+// NewFlat builds a simulation whose node state lives in a FlatMachine
+// bank (struct-of-arrays) instead of one heap object per node: the
+// layout for very large rings. Semantics are identical to New — the
+// flat differential tests assert trace-for-trace equality against the
+// pointer machines — except that WithFaultPlane is rejected: restart
+// and corrupt injections snapshot machines through node.Undoable, which
+// a flat bank does not expose.
+func NewFlat[M any](t ring.Topology, bank node.FlatMachine[M], sched Scheduler, opts ...Option[M]) (*Sim[M], error) {
+	if bank == nil {
+		return nil, errors.New("sim: nil machine bank")
+	}
+	if bank.Len() != t.N() {
+		return nil, fmt.Errorf("sim: bank of %d slots for %d nodes", bank.Len(), t.N())
+	}
+	s, err := newSim[M](t, sched)
+	if err != nil {
+		return nil, err
+	}
+	s.flat = bank
+	s.finish(opts)
+	if s.plane != nil {
+		return nil, errors.New("sim: fault plane requires pointer machines (node.Undoable), not a FlatMachine bank")
+	}
+	return s, nil
+}
+
+// mInit dispatches a node's Init through whichever bank is attached.
+func (s *Sim[M]) mInit(k int, e node.Emitter[M]) {
+	if s.flat != nil {
+		s.flat.Init(k, e)
+		return
+	}
+	s.machines[k].Init(e)
+}
+
+// mOnMsg dispatches a delivery through whichever bank is attached.
+func (s *Sim[M]) mOnMsg(k int, p pulse.Port, m M, e node.Emitter[M]) {
+	if s.flat != nil {
+		s.flat.OnMsg(k, p, m, e)
+		return
+	}
+	s.machines[k].OnMsg(p, m, e)
+}
+
+// mReady dispatches a Ready query through whichever bank is attached.
+func (s *Sim[M]) mReady(k int, p pulse.Port) bool {
+	if s.flat != nil {
+		return s.flat.Ready(k, p)
+	}
+	return s.machines[k].Ready(p)
+}
+
+// mStatus dispatches a Status query through whichever bank is attached.
+func (s *Sim[M]) mStatus(k int) node.Status {
+	if s.flat != nil {
+		return s.flat.Status(k)
+	}
+	return s.machines[k].Status()
 }
 
 func chanID(k int, p pulse.Port) int { return 2*k + int(p) }
@@ -456,12 +570,15 @@ func (s *Sim[M]) enqueue(c int, msg M, dir pulse.Direction) {
 func (s *Sim[M]) refreshChan(c int) {
 	k := ChanNode(c)
 	was := s.deliv.get(c)
-	if s.queues[c].n > 0 && s.inited[k] && s.termAt[k] == 0 && !s.crashed[k] && s.machines[k].Ready(ChanPort(c)) {
+	if s.queues[c].n > 0 && s.inited[k] && s.termAt[k] == 0 && !s.crashed[k] && s.mReady(k, ChanPort(c)) {
 		if !was {
 			s.deliv.set(c)
 			s.delivCount++
 		}
 		s.heapPush(c, s.queues[c].front().seq)
+		if len(s.aux) > 0 {
+			s.auxPush(c, s.queues[c].front().seq)
+		}
 	} else if was {
 		s.deliv.clear(c)
 		s.delivCount--
@@ -472,7 +589,7 @@ func (s *Sim[M]) refreshChan(c int) {
 // up to date with node k's post-handler state, and notifies observers.
 // ev is nil exactly when no observer is attached.
 func (s *Sim[M]) afterHandler(k int, ev *Event) error {
-	st := s.machines[k].Status()
+	st := s.mStatus(k)
 	if st.Err != nil {
 		return fmt.Errorf("%w: node %d: %v", ErrMachineFault, k, st.Err)
 	}
@@ -518,7 +635,7 @@ func (s *Sim[M]) InitNode(k int) error {
 		ev = &Event{Kind: EvInit, Step: s.step, Node: k}
 	}
 	s.em.from = k
-	s.machines[k].Init(&s.em)
+	s.mInit(k, &s.em)
 	if err := s.flushSends(k, ev); err != nil {
 		return s.fail(err)
 	}
@@ -553,7 +670,7 @@ func (s *Sim[M]) deliverableRescan(dst []int) []int {
 		if !s.inited[k] || s.termAt[k] != 0 || s.crashed[k] {
 			continue
 		}
-		if !s.machines[k].Ready(ChanPort(c)) {
+		if !s.mReady(k, ChanPort(c)) {
 			continue
 		}
 		dst = append(dst, c)
@@ -590,7 +707,7 @@ func (s *Sim[M]) Deliver(c int) error {
 		return s.fail(fmt.Errorf("%w: delivery attempted to node %d", ErrPostTerminationSend, k))
 	case s.crashed[k]:
 		return fmt.Errorf("sim: deliver to crashed node %d", k)
-	case !s.machines[k].Ready(p):
+	case !s.mReady(k, p):
 		return fmt.Errorf("sim: deliver on non-ready port %s of node %d", p, k)
 	}
 	head := s.queues[c].pop()
@@ -601,7 +718,7 @@ func (s *Sim[M]) Deliver(c int) error {
 		ev = &Event{Kind: EvDeliver, Step: s.step, Node: k, Port: p, Dir: s.chanDir[c]}
 	}
 	s.em.from = k
-	s.machines[k].OnMsg(p, head.msg, &s.em)
+	s.mOnMsg(k, p, head.msg, &s.em)
 	if err := s.flushSends(k, ev); err != nil {
 		return s.fail(err)
 	}
@@ -631,7 +748,16 @@ func (s *Sim[M]) Quiescent() bool {
 }
 
 // Machine returns node k's machine for introspection by observers/tests.
-func (s *Sim[M]) Machine(k int) node.Machine[M] { return s.machines[k] }
+// On a flat-backed simulation it returns a node.Slot adapter over the
+// bank, so introspection code works unchanged (type assertions against
+// concrete pointer machines do not — assert node.Slot and go through
+// the bank instead).
+func (s *Sim[M]) Machine(k int) node.Machine[M] {
+	if s.flat != nil {
+		return node.Slot[M]{Bank: s.flat, K: k}
+	}
+	return s.machines[k]
+}
 
 // Topology returns the simulated ring.
 func (s *Sim[M]) Topology() ring.Topology { return s.topo }
@@ -697,7 +823,7 @@ func (s *Sim[M]) RunDeliveries(limit uint64) (Result, error) {
 }
 
 func (s *Sim[M]) allTerminated() bool {
-	for k := range s.machines {
+	for k := range s.termAt {
 		if s.termAt[k] == 0 {
 			return false
 		}
@@ -723,7 +849,7 @@ func (s *Sim[M]) Result() Result {
 	}
 	r.TerminationOrder = append(r.TerminationOrder, s.ordTerm...)
 	for k := 0; k < n; k++ {
-		st := s.machines[k].Status()
+		st := s.mStatus(k)
 		r.Statuses[k] = st
 		if st.State == node.StateLeader {
 			r.Leaders = append(r.Leaders, k)
