@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke shard-smoke
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke shard-smoke batch-smoke
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -101,8 +101,9 @@ BENCHTIME ?= 1x
 BENCH_LABEL ?= post
 BENCH_NOTE ?= benchtime $(BENCHTIME)
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -timeout 40m . \
 		| tee .bench-out.txt
+	@grep -q '^PASS' .bench-out.txt  # tee masks go test's exit; a killed run must not record
 	$(GO) run ./cmd/benchjson -in .bench-out.txt -out BENCH_sim.json \
 		-label "$(BENCH_LABEL)" -note "$(BENCH_NOTE)"
 	@rm -f .bench-out.txt
@@ -151,6 +152,23 @@ shard-smoke:
 	$(GO) test -race -run 'Shard|Flat' ./internal/sim/
 	@echo "sharded replays byte-identical; sharded/flat paths race-clean"
 	@rm -f .shard-run-a.txt .shard-run-b.txt
+
+# batch-smoke proves the batch fast path's determinism contract: two
+# identical batched runs — Heaviest scheduler, consecutive IDs, flat
+# bank, sequential engine — must be byte-identical (including the
+# transition/coalescing counts), and the batch path must be race-clean.
+# The event-level equivalence against the run-expanded sequential
+# reference is the TestBatchedMatchesExpandedReference differential
+# inside the race run.
+batch-smoke:
+	$(GO) run ./cmd/ringsim -algo alg2 -n 4096 -idgen consecutive -flat -batch \
+		-sched heaviest -seed 3 2>/dev/null > .batch-run-a.txt
+	$(GO) run ./cmd/ringsim -algo alg2 -n 4096 -idgen consecutive -flat -batch \
+		-sched heaviest -seed 3 2>/dev/null > .batch-run-b.txt
+	cmp .batch-run-a.txt .batch-run-b.txt
+	$(GO) test -race -run 'Batch' ./internal/sim/
+	@echo "batched replays byte-identical; batch path race-clean"
+	@rm -f .batch-run-a.txt .batch-run-b.txt
 
 # fuzz-smoke gives every fuzz target a short budget; used by CI.
 fuzz-smoke:

@@ -10,6 +10,7 @@
 //	ringsim -algo alg2 -ids 1,2,3 -live
 //	ringsim -algo alg1 -ids 4,9,2,7 -faults corrupt -fault-budget 2
 //	ringsim -algo alg1 -n 1000000 -idgen geometric -shards 8 -flat -sched canonical
+//	ringsim -algo alg2 -n 1000000 -idgen consecutive -flat -batch -sched heaviest
 package main
 
 import (
@@ -45,7 +46,7 @@ func run() error {
 	flipsFlag := flag.String("flips", "", "comma-separated 0/1 port flips (alg3/anonymous; default oriented)")
 	n := flag.Int("n", 8, "ring size (anonymous and -shards modes)")
 	c := flag.Float64("c", 2, "Algorithm 4 reliability parameter (anonymous, -idgen geometric/alg4)")
-	sched := flag.String("sched", "random", "scheduler: canonical | newest | random | roundrobin | ccw-first | cw-first | flaky | hashdelay")
+	sched := flag.String("sched", "random", "scheduler: canonical | newest | random | roundrobin | ccw-first | cw-first | flaky | hashdelay | heaviest")
 	seed := flag.Int64("seed", 1, "seed for randomized components")
 	liveRun := flag.Bool("live", false, "run on the goroutine-per-node live runtime")
 	doTrace := flag.Bool("trace", false, "print the full event trace (simulator only)")
@@ -54,19 +55,21 @@ func run() error {
 	faults := flag.String("faults", "", "enable seeded fault injection: 'all' or a comma list of loss,dup,spurious,crash,restart,corrupt")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule (default: -seed)")
 	faultBudget := flag.Int("fault-budget", 1, "number of injections to schedule (with -faults)")
-	shards := flag.Int("shards", 0, "run the sharded parallel engine with this many ring arcs (0 = classic modes)")
-	flat := flag.Bool("flat", false, "use the struct-of-arrays machine bank (with -shards)")
-	idgen := flag.String("idgen", "consecutive", "ID generation for -shards runs without -ids: consecutive | geometric | alg4")
+	shards := flag.Int("shards", 0, "run the sharded parallel engine with this many ring arcs (0 = sequential scale engine with -flat/-batch, else classic modes)")
+	flat := flag.Bool("flat", false, "use the struct-of-arrays machine bank (scale mode)")
+	batch := flag.Bool("batch", false, "coalesce pulse runs into O(1) batch transitions (scale mode; best with -sched heaviest)")
+	idgen := flag.String("idgen", "consecutive", "ID generation for scale-mode runs without -ids: consecutive | geometric | alg4")
 	flag.Parse()
 
-	if *shards != 0 {
+	// -shards, -flat, and -batch all select scale mode: the engines that
+	// reach million-node rings. -shards 0 there means the sequential
+	// engine, whose -batch fast path does the run coalescing measured in
+	// EXPERIMENTS.md E16.
+	if *shards != 0 || *flat || *batch {
 		if *liveRun || *doTrace || *diagram || *faults != "" || *flipsFlag != "" {
-			return fmt.Errorf("-shards does not combine with -live/-trace/-diagram/-faults/-flips")
+			return fmt.Errorf("scale mode (-shards/-flat/-batch) does not combine with -live/-trace/-diagram/-faults/-flips")
 		}
-		return runScale(*algo, *idsFlag, *idgen, *n, *c, *sched, *seed, *shards, *flat)
-	}
-	if *flat {
-		return fmt.Errorf("-flat requires -shards")
+		return runScale(*algo, *idsFlag, *idgen, *n, *c, *sched, *seed, *shards, *flat, *batch)
 	}
 
 	if *faults != "" {

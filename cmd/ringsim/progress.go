@@ -20,10 +20,11 @@ const progressEvery = 5 * time.Second
 
 // watchProgress reports a running sharded election to stderr every few
 // seconds — delivered/sent pulses against the predicted total, completed
-// epochs, and resident set size — and prints one final timing line when
-// the returned stop function runs. Sharded.Progress is the engine's only
-// concurrency-safe accessor, so the reporter touches nothing else.
-func watchProgress(s *sim.Sharded[pulse.Pulse], predicted uint64) (stop func()) {
+// epochs, runs coalesced (batch mode), and resident set size — and
+// prints one final timing line when the returned stop function runs.
+// Sharded.Progress and Sharded.ProgressRuns are the engine's only
+// concurrency-safe accessors, so the reporter touches nothing else.
+func watchProgress(s *sim.Sharded[pulse.Pulse], predicted uint64, batch bool) (stop func()) {
 	start := time.Now()
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -37,8 +38,13 @@ func watchProgress(s *sim.Sharded[pulse.Pulse], predicted uint64) (stop func()) 
 				return
 			case <-t.C:
 				delivered, sent, epochs := s.Progress()
-				fmt.Fprintf(os.Stderr, "ringsim: %s  delivered=%d/%d sent=%d epochs=%d rss=%dMB\n",
-					time.Since(start).Round(time.Second), delivered, predicted, sent, epochs, rssMB())
+				line := fmt.Sprintf("ringsim: %s  delivered=%d/%d sent=%d epochs=%d",
+					time.Since(start).Round(time.Second), delivered, predicted, sent, epochs)
+				if batch {
+					runs, coalesced := s.ProgressRuns()
+					line += fmt.Sprintf(" runs=%d coalesced=%d", runs, coalesced)
+				}
+				fmt.Fprintf(os.Stderr, "%s rss=%dMB\n", line, rssMB())
 			}
 		}
 	}()
@@ -48,6 +54,37 @@ func watchProgress(s *sim.Sharded[pulse.Pulse], predicted uint64) (stop func()) 
 		delivered, _, epochs := s.Progress()
 		fmt.Fprintf(os.Stderr, "ringsim: finished in %s  delivered=%d epochs=%d peak-rss=%dMB\n",
 			time.Since(start).Round(time.Millisecond), delivered, epochs, rssMB())
+	}
+}
+
+// watchWall is the sequential-engine sibling of watchProgress. The
+// sequential Sim has no concurrency-safe counters — its hot loop stays
+// free of atomics — so the ticker reports only what is safe from
+// another goroutine: elapsed wall time and resident set size. Delivery
+// and coalescing totals appear in the caller's end-of-run summary.
+func watchWall() (stop func()) {
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(progressEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(os.Stderr, "ringsim: %s  rss=%dMB\n",
+					time.Since(start).Round(time.Second), rssMB())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Fprintf(os.Stderr, "ringsim: finished in %s  peak-rss=%dMB\n",
+			time.Since(start).Round(time.Millisecond), rssMB())
 	}
 }
 

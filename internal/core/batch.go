@@ -1,0 +1,236 @@
+package core
+
+import (
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+)
+
+// Batch transitions: the node.BatchMachine / node.FlatBatchMachine
+// implementations for Algorithms 1-3 and their struct-of-arrays banks.
+//
+// Every algorithm in this package is counter arithmetic with thresholds:
+// a pulse either relays (counter++ and one pulse out) or crosses a
+// threshold (withhold, guard, terminate). A run of k same-port pulses
+// therefore splits into uniform relay segments — applied in O(1) by
+// adding the segment length to rho/sigma and emitting one counted run —
+// separated by single threshold pulses, which are delegated to the
+// ordinary OnMsg path so the batched and pulse-by-pulse executions stay
+// transition-for-transition equivalent (the batched differential tests
+// in internal/sim prove this against the sequential engine).
+//
+// Each OnPulses computes the distance to the machine's next threshold
+// crossing and consumes min(k, distance-to-crossing) pulses; when the
+// very next pulse is the crossing (or a guard could fire), it consumes
+// exactly that one pulse via OnMsg. Consumed prefixes are
+// emission-uniform — one relayed pulse each, or pure absorption — as
+// the BatchMachine contract requires.
+
+// relayPrefix returns how many of k pulses can be consumed before a
+// receive counter at rho crosses the withhold threshold at id: all k if
+// the counter is already past the threshold, otherwise up to (but not
+// including) the pulse that lands exactly on it.
+func relayPrefix(rho, id, k uint64) uint64 {
+	if rho >= id {
+		return k
+	}
+	if d := id - rho - 1; d < k {
+		return d
+	}
+	return k
+}
+
+// OnPulses implements node.BatchMachine: Algorithm 1's main loop over a
+// run of k clockwise pulses. The single threshold is rho_cw reaching the
+// node's ID (the withheld pulse of line 6).
+func (a *Alg1) OnPulses(p pulse.Port, k uint64, e node.BatchEmitter) uint64 {
+	if p == a.cwPort || a.rhoCW+1 == a.id {
+		// Wrong-port fault, or the withheld crossing pulse: one ordinary
+		// step keeps the non-uniform transition on the OnMsg path.
+		a.OnMsg(p, pulse.Pulse{}, e)
+		return 1
+	}
+	m := relayPrefix(a.rhoCW, a.id, k)
+	a.rhoCW += m
+	a.sigCW += m
+	a.state = node.StateNonLeader
+	e.SendRun(a.cwPort, m)
+	return m
+}
+
+// OnPulses implements node.BatchMachine: Algorithm 2 over a run of k
+// pulses from one port. Thresholds: rho_cw reaching ID (withhold +
+// Leader + the line 9-10 guard), rho_ccw reaching ID (withhold + the
+// line 14-15 guard), and rho_ccw exceeding rho_cw (line 18 termination).
+func (a *Alg2) OnPulses(p pulse.Port, k uint64, e node.BatchEmitter) uint64 {
+	if a.terminated {
+		a.OnMsg(p, pulse.Pulse{}, e) // records the post-termination fault
+		return 1
+	}
+	if p == a.cwPort.Opposite() { // clockwise pulses: Algorithm 1 over CW
+		if a.rhoCW+1 == a.id || (a.rhoCW >= a.id && a.sigCCW == 0) {
+			// The ID crossing, or a state where after()'s line 9-10 guard
+			// would fire on the first pulse: single-step it.
+			a.OnMsg(p, pulse.Pulse{}, e)
+			return 1
+		}
+		// Uniform relay prefix: rho_cw stays off ID, so no after() guard
+		// can newly hold (lines 9-10 and 14-15 test rho_cw against ID;
+		// line 18's rho_ccw > rho_cw only gets falser as rho_cw grows).
+		m := relayPrefix(a.rhoCW, a.id, k)
+		a.rhoCW += m
+		a.sigCW += m
+		a.state = node.StateNonLeader
+		e.SendRun(a.cwPort, m)
+		return m
+	}
+	// Counterclockwise pulses.
+	if a.rhoCW < a.id {
+		a.OnMsg(p, pulse.Pulse{}, e) // records the Ready-violation fault
+		return 1
+	}
+	if a.termSent {
+		// Lines 16-17: the leader absorbs without forwarding; the pulse
+		// that lifts rho_ccw above rho_cw terminates (line 18) and is the
+		// last one this machine may ever consume.
+		m := k
+		if d := a.rhoCW - a.rhoCCW + 1; d < m {
+			m = d
+		}
+		a.rhoCCW += m
+		if a.rhoCCW > a.rhoCW {
+			a.terminated = true
+		}
+		return m
+	}
+	// Relay prefix of the counterclockwise instance: stop before rho_ccw
+	// lands on ID (withheld pulse; line 14-15 guard) and before it
+	// exceeds rho_cw (line 18 termination).
+	m := k
+	if a.rhoCCW < a.id {
+		if d := a.id - a.rhoCCW - 1; d < m {
+			m = d
+		}
+	}
+	if d := a.rhoCW - a.rhoCCW; d < m {
+		m = d
+	}
+	if m == 0 || a.sigCCW == 0 {
+		a.OnMsg(p, pulse.Pulse{}, e)
+		return 1
+	}
+	a.rhoCCW += m
+	a.sigCCW += m
+	e.SendRun(a.cwPort.Opposite(), m)
+	return m
+}
+
+// OnPulses implements node.BatchMachine: Algorithm 3 over a run of k
+// pulses on port p. The single threshold is rho_p landing on the virtual
+// ID governing the opposite port (the withheld pulse of line 6); the
+// output block is a pure function of the final counters, so one
+// recompute after the bulk update equals one per pulse.
+func (a *Alg3) OnPulses(p pulse.Port, k uint64, e node.BatchEmitter) uint64 {
+	opp := p.Opposite()
+	if a.rho[p]+1 == a.vid[opp] {
+		a.OnMsg(p, pulse.Pulse{}, e)
+		return 1
+	}
+	m := relayPrefix(a.rho[p], a.vid[opp], k)
+	a.rho[p] += m
+	a.sig[opp] += m
+	e.SendRun(opp, m)
+	a.recomputeOutput()
+	return m
+}
+
+// OnPulses implements node.FlatBatchMachine; mirrors Alg1.OnPulses.
+func (b *FlatAlg1) OnPulses(k int, p pulse.Port, n uint64, e node.BatchEmitter) uint64 {
+	if p == b.cwPort[k] || b.rhoCW[k]+1 == b.ids[k] {
+		b.OnMsg(k, p, pulse.Pulse{}, e)
+		return 1
+	}
+	m := relayPrefix(b.rhoCW[k], b.ids[k], n)
+	b.rhoCW[k] += m
+	b.sigCW[k] += m
+	b.state[k] = node.StateNonLeader
+	e.SendRun(b.cwPort[k], m)
+	return m
+}
+
+// OnPulses implements node.FlatBatchMachine; mirrors Alg2.OnPulses.
+func (b *FlatAlg2) OnPulses(k int, p pulse.Port, n uint64, e node.BatchEmitter) uint64 {
+	if b.flags[k]&flatTerminated != 0 {
+		b.OnMsg(k, p, pulse.Pulse{}, e)
+		return 1
+	}
+	if p == b.cwPort[k].Opposite() { // clockwise pulses
+		if b.rhoCW[k]+1 == b.ids[k] || (b.rhoCW[k] >= b.ids[k] && b.sigCCW[k] == 0) {
+			b.OnMsg(k, p, pulse.Pulse{}, e)
+			return 1
+		}
+		m := relayPrefix(b.rhoCW[k], b.ids[k], n)
+		b.rhoCW[k] += m
+		b.sigCW[k] += m
+		b.state[k] = node.StateNonLeader
+		e.SendRun(b.cwPort[k], m)
+		return m
+	}
+	// Counterclockwise pulses.
+	if b.rhoCW[k] < b.ids[k] {
+		b.OnMsg(k, p, pulse.Pulse{}, e)
+		return 1
+	}
+	if b.flags[k]&flatTermSent != 0 {
+		m := n
+		if d := b.rhoCW[k] - b.rhoCCW[k] + 1; d < m {
+			m = d
+		}
+		b.rhoCCW[k] += m
+		if b.rhoCCW[k] > b.rhoCW[k] {
+			b.flags[k] |= flatTerminated
+		}
+		return m
+	}
+	m := n
+	if b.rhoCCW[k] < b.ids[k] {
+		if d := b.ids[k] - b.rhoCCW[k] - 1; d < m {
+			m = d
+		}
+	}
+	if d := b.rhoCW[k] - b.rhoCCW[k]; d < m {
+		m = d
+	}
+	if m == 0 || b.sigCCW[k] == 0 {
+		b.OnMsg(k, p, pulse.Pulse{}, e)
+		return 1
+	}
+	b.rhoCCW[k] += m
+	b.sigCCW[k] += m
+	e.SendRun(b.cwPort[k].Opposite(), m)
+	return m
+}
+
+// OnPulses implements node.FlatBatchMachine; mirrors Alg3.OnPulses.
+func (b *FlatAlg3) OnPulses(k int, p pulse.Port, n uint64, e node.BatchEmitter) uint64 {
+	var rp, vidOpp uint64
+	if p == pulse.Port0 {
+		rp, vidOpp = b.rho0[k], b.vid1[k]
+	} else {
+		rp, vidOpp = b.rho1[k], b.vid0[k]
+	}
+	if rp+1 == vidOpp {
+		b.OnMsg(k, p, pulse.Pulse{}, e)
+		return 1
+	}
+	m := relayPrefix(rp, vidOpp, n)
+	if p == pulse.Port0 {
+		b.rho0[k] += m
+		b.sig1[k] += m
+	} else {
+		b.rho1[k] += m
+		b.sig0[k] += m
+	}
+	e.SendRun(p.Opposite(), m)
+	b.recomputeOutput(k)
+	return m
+}

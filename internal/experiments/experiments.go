@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"E13", "Section 1.1 r-redundancy composition: correctness preserved at exactly (r+1)-fold cost", E13},
 		{"E14", "Fault plane: stabilizing algorithms heal early output corruption exactly; the terminating algorithm breaks under conservation-violating faults", E14},
 		{"E15", "Sharded engine: geometric-ID elections cost Theta(n log n) pulses to million-node rings, with arc parallelism provably schedule-equivalent", E15},
+		{"E16", "Batch engine: pulse-run coalescing conserves Theorem 1's pulse count exactly while transitions fall by the schedule-dependent coalescing factor", E16},
 	}
 }
 

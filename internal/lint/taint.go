@@ -40,6 +40,20 @@ package lint
 //     in scope packages that are not themselves oblivious (an oblivious
 //     dependency reports its own sinks when its turn comes, never twice).
 //
+// The seed set is deliberately exactly the pulse-typed parameters. In
+// particular the count parameter of the batch interfaces —
+// node.BatchMachine.OnPulses(p, k, e) and its flat twin — is a plain
+// uint64 and never seeds: a run length is arrival multiplicity, the one
+// quantity a content-oblivious channel legitimately conveys (k queued
+// pulses ARE the integer k), so branching on it is as model-legal as
+// branching on the port. The pulse-typed port parameter p doesn't seed
+// either (ports are wiring, not content; only the payload type
+// configured as PulseType does). What the batch path cannot do is
+// launder content through the handler: a payload stashed by OnMsg into
+// a field and branched on inside OnPulses is payload-derived control
+// flow like any other and still fires — fixt/taint's Batched fixture
+// pins both halves of this contract.
+//
 // Taint is field-granular (a tainted assignment to s.f taints the field
 // object f, not the whole struct), branch-sensitive at the sink (every
 // condition, tag, and case expression is tested separately), and monotone,

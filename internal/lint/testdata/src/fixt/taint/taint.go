@@ -68,3 +68,40 @@ func clean(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
 		forward(p, m)
 	}
 }
+
+// Batched mirrors a node.BatchMachine implementation: OnMsg consumes one
+// pulse, OnPulses consumes a counted run. Its OnMsg stashes the payload,
+// so the field is tainted when OnPulses later branches on it.
+type Batched struct {
+	recv  uint64
+	stash pulse.Pulse
+}
+
+func (b *Batched) OnMsg(p pulse.Port, m pulse.Pulse, forward func(pulse.Port, pulse.Pulse)) {
+	b.recv++
+	b.stash = m
+	forward(p.Opposite(), m)
+}
+
+// OnPulses branches freely on the run length k — a plain uint64 carrying
+// arrival multiplicity, which the content-oblivious model exposes
+// legitimately, so none of the count-derived conditions fire. The one
+// finding is the branch on the field OnMsg stashed a payload into:
+// content laundered through state is still content.
+func (b *Batched) OnPulses(p pulse.Port, k uint64, sendRun func(pulse.Port, uint64)) uint64 {
+	if k > b.recv { // count-derived: clean
+		k = b.recv
+	}
+	d := k / 2
+	switch { // count-derived: clean
+	case d == 0:
+		return 1
+	case p == pulse.Port0 && d < k:
+		sendRun(p.Opposite(), d)
+	}
+	b.recv += k
+	if b.stash == (pulse.Pulse{}) { // want "branch condition .* derived from a pulse payload"
+		return 1
+	}
+	return k
+}

@@ -5,33 +5,54 @@ import (
 )
 
 // auxHeap is one scheduler-requested priority heap over deliverable
-// channel heads (see HeapHinted). Like the oldest-message heap it is
-// lazily validated: entries are checked against the live queues on
-// inspection and stale ones dropped, and mark deduplicates pushes so
-// each (channel, head-seq) pair is enqueued at most once per heap.
+// channel heads (see HeapHinted). The head-seq-keyed kinds are lazily
+// validated, like the oldest-message heap: entries are checked against
+// the live queues on inspection and stale ones dropped, and mark
+// deduplicates pushes so each (channel, head-seq) pair is enqueued at
+// most once per heap. HeapHeaviest is indexed instead: its key (the
+// queued-pulse count) changes on every enqueue, which under lazy
+// staleness would grow the heap by one junk entry per count move, so
+// pos tracks each channel's single entry and key changes are in-place
+// sift-up/downs. An indexed entry only goes stale by losing
+// deliverability, and is dropped when it surfaces.
 type auxHeap struct {
 	kind HeapKind
 	dir  pulse.Direction                // HeapDirOldest: covered direction
 	rank func(c int, seq uint64) uint64 // HeapRank: key function
 
 	h    []auxEntry
-	mark []uint64 // last seq pushed per channel; 0 = none
+	mark []uint64 // lazy kinds: last seq pushed per channel; 0 = none
+	pos  []int32  // HeapHeaviest: heap index + 1 per channel; 0 = absent
 }
 
+// auxEntry is one heap candidate: ordering key, the head sequence
+// number it was registered under (every kind's validity witness), and
+// the channel. HeapHeaviest additionally witnesses the queued-pulse
+// count through its key (key == ^count), which is stale exactly when
+// the count moved — though indexed maintenance updates the entry in
+// place on every move, so only deliverability can stale it.
 type auxEntry struct {
 	key uint64
 	seq uint64
 	c   int32
 }
 
-// auxLess orders candidates by key, breaking ties toward the smaller
+// less orders candidates by key, breaking ties toward the smaller
 // channel id — exactly the winner of the ascending Deliverable() scan
 // the heap replaces, so heap and scan pick identically even if two
 // messages hash to the same rank. (For HeapNewest and HeapDirOldest the
 // key is a sequence number or its complement, which is unique, so the
-// tie-break never fires there.)
-func auxLess(a, b auxEntry) bool {
-	return a.key < b.key || (a.key == b.key && a.c < b.c)
+// tie-break never fires there.) HeapHeaviest keys are queue depths,
+// where ties are routine; its scan breaks them toward the oldest head
+// first, so the heap does too.
+func (a *auxHeap) less(x, y auxEntry) bool {
+	if x.key != y.key {
+		return x.key < y.key
+	}
+	if a.kind == HeapHeaviest && x.seq != y.seq {
+		return x.seq < y.seq
+	}
+	return x.c < y.c
 }
 
 // installHeapHints wires the aux heaps the scheduler asked for. Called
@@ -45,29 +66,149 @@ func (s *Sim[M]) installHeapHints() {
 		return
 	}
 	for _, hint := range hh.HeapHints() {
-		s.aux = append(s.aux, auxHeap{
+		a := auxHeap{
 			kind: hint.Kind,
 			dir:  hint.Dir,
 			rank: hint.Rank,
-			mark: make([]uint64, len(s.queues)),
-		})
+		}
+		if hint.Kind == HeapHeaviest {
+			a.pos = make([]int32, len(s.queues))
+		} else {
+			a.mark = make([]uint64, len(s.queues))
+		}
+		s.aux = append(s.aux, a)
 	}
 }
 
 // auxPush registers the deliverable head (c, seq) in every aux heap
-// covering c. It runs from refreshChan alongside the oldest-heap push,
-// which maintains the invariant that every currently deliverable
-// channel has a valid entry in every direction-matching aux heap.
+// covering c. It runs from refreshChan alongside the oldest-heap push —
+// and, for the count-keyed HeapHeaviest, also from the enqueue paths
+// (an enqueue onto a non-empty deliverable channel changes its count
+// but not its head) — which maintains the invariant that every
+// currently deliverable channel has a valid entry in every
+// direction-matching aux heap.
 func (s *Sim[M]) auxPush(c int, seq uint64) {
 	for i := range s.aux {
 		a := &s.aux[i]
 		if a.kind == HeapDirOldest && s.chanDir[c] != a.dir {
 			continue
 		}
+		var key uint64
+		switch a.kind {
+		case HeapNewest:
+			key = ^seq
+		case HeapDirOldest:
+			key = seq
+		case HeapRank:
+			key = a.rank(c, seq)
+		case HeapHeaviest:
+			a.fix(c, ^s.queues[c].tot, seq)
+			continue
+		}
 		if a.mark[c] == seq {
 			continue
 		}
+		if len(a.h) >= 2*len(s.queues)+64 {
+			// A lazy heap's stale entries drain only when they surface at
+			// the top; a scheduler that stops consulting a kind (or
+			// consults another kind first) would otherwise let them pile
+			// up across a long run. Rebuilding from the live candidate
+			// set bounds the heap at O(channels), amortized O(1) per push.
+			s.auxCompact(a)
+			if a.mark[c] == seq {
+				continue
+			}
+		}
 		a.mark[c] = seq
+		a.push(auxEntry{key: key, seq: seq, c: int32(c)})
+	}
+}
+
+// fix is the indexed kinds' registration: insert channel c if absent,
+// otherwise rewrite its single entry's key and seq in place and restore
+// heap order around it. Exactly one entry per channel ever exists, so
+// the heap never grows past the channel count and auxBest never drains
+// key-stale junk.
+func (a *auxHeap) fix(c int, key, seq uint64) {
+	if i := a.pos[c]; i != 0 {
+		e := &a.h[i-1]
+		if e.key == key && e.seq == seq {
+			return
+		}
+		e.key, e.seq = key, seq
+		if j := int(i - 1); j > 0 && a.less(a.h[j], a.h[(j-1)/2]) {
+			a.siftUp(j)
+		} else {
+			a.siftDown(j)
+		}
+		return
+	}
+	a.h = append(a.h, auxEntry{key: key, seq: seq, c: int32(c)})
+	a.pos[c] = int32(len(a.h))
+	a.siftUp(len(a.h) - 1)
+}
+
+// siftUp restores heap order from index i toward the root, maintaining
+// pos for indexed kinds.
+func (a *auxHeap) siftUp(i int) {
+	h := a.h
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(h[i], h[parent]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		if a.pos != nil {
+			a.pos[h[i].c] = int32(i + 1)
+			a.pos[h[parent].c] = int32(parent + 1)
+		}
+		i = parent
+	}
+}
+
+// siftDown restores heap order from index i toward the leaves,
+// maintaining pos for indexed kinds.
+func (a *auxHeap) siftDown(i int) {
+	h := a.h
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && a.less(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && a.less(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		if a.pos != nil {
+			a.pos[h[i].c] = int32(i + 1)
+			a.pos[h[small].c] = int32(small + 1)
+		}
+		i = small
+	}
+}
+
+// auxCompact rebuilds a lazy aux heap from exactly its live candidate
+// set — every covered deliverable channel's current head — resetting
+// the dedup marks to match. Afterward auxPush's dedup check correctly
+// skips candidates the rebuild already registered. Indexed kinds never
+// need it: fix keeps them at one entry per channel.
+func (s *Sim[M]) auxCompact(a *auxHeap) {
+	h := a.h[:0]
+	for i := range a.mark {
+		a.mark[i] = 0
+	}
+	for c := range s.queues {
+		if !s.deliv.get(c) {
+			continue
+		}
+		if a.kind == HeapDirOldest && s.chanDir[c] != a.dir {
+			continue
+		}
+		seq := s.queues[c].front().seq
 		var key uint64
 		switch a.kind {
 		case HeapNewest:
@@ -77,51 +218,39 @@ func (s *Sim[M]) auxPush(c int, seq uint64) {
 		case HeapRank:
 			key = a.rank(c, seq)
 		}
-		a.push(auxEntry{key: key, seq: seq, c: int32(c)})
+		a.mark[c] = seq
+		h = append(h, auxEntry{key: key, seq: seq, c: int32(c)})
+	}
+	a.h = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		a.siftDown(i)
 	}
 }
 
 func (a *auxHeap) push(e auxEntry) {
-	h := append(a.h, e)
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !auxLess(h[i], h[parent]) {
-			break
-		}
-		h[parent], h[i] = h[i], h[parent]
-		i = parent
-	}
-	a.h = h
+	a.h = append(a.h, e)
+	a.siftUp(len(a.h) - 1)
 }
 
-// drop removes the root, clearing its dedup mark if it still owns it.
+// drop removes the root, clearing its dedup mark or position if it
+// still owns it.
 func (a *auxHeap) drop() {
 	h := a.h
 	top := h[0]
-	if a.mark[top.c] == top.seq {
+	if a.pos != nil {
+		a.pos[top.c] = 0
+	} else if a.mark[top.c] == top.seq {
 		a.mark[top.c] = 0
 	}
 	last := len(h) - 1
 	h[0] = h[last]
-	h = h[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(h) && auxLess(h[l], h[small]) {
-			small = l
+	a.h = h[:last]
+	if last > 0 {
+		if a.pos != nil {
+			a.pos[h[0].c] = 1
 		}
-		if r < len(h) && auxLess(h[r], h[small]) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
+		a.siftDown(0)
 	}
-	a.h = h
 }
 
 // auxBest returns the smallest-key channel of aux heap i that is still
@@ -135,7 +264,8 @@ func (s *Sim[M]) auxBest(i int) (int, bool) {
 	for len(a.h) > 0 {
 		top := a.h[0]
 		c := int(top.c)
-		if s.deliv.get(c) && s.queues[c].front().seq == top.seq {
+		if s.deliv.get(c) && s.queues[c].front().seq == top.seq &&
+			(a.kind != HeapHeaviest || s.queues[c].tot == ^top.key) {
 			return c, true
 		}
 		a.drop()

@@ -46,6 +46,11 @@ const (
 	HeapDirOldest
 	// HeapRank: smallest Rank(channel, head seq) first (HashDelay's pick).
 	HeapRank
+	// HeapHeaviest: largest queued-pulse count first (Heaviest's pick).
+	// Unlike the head-seq-keyed kinds its key changes on every enqueue,
+	// so the simulator re-registers the channel from the enqueue path,
+	// not just on deliverability transitions.
+	HeapHeaviest
 )
 
 // HeapHint asks the simulator to maintain one incrementally updated
@@ -92,6 +97,13 @@ type RankedView interface {
 	MinRankDeliverable() (c int, ok bool)
 }
 
+// HeaviestView is an optional fast path: the deliverable channel with
+// the most queued pulses, ties toward the smaller channel id (the
+// scan's tie-break). ok is false when the fast path is unavailable.
+type HeaviestView interface {
+	HeaviestDeliverable() (c int, ok bool)
+}
+
 type view[M any] struct{ s *Sim[M] }
 
 func (v *view[M]) Deliverable() []int              { return v.s.Deliverable() }
@@ -121,6 +133,13 @@ func (v *view[M]) OldestDeliverableDir(d pulse.Direction) (int, bool) {
 
 func (v *view[M]) MinRankDeliverable() (int, bool) {
 	if i := v.s.auxFind(HeapRank, 0); i >= 0 {
+		return v.s.auxBest(i)
+	}
+	return 0, false
+}
+
+func (v *view[M]) HeaviestDeliverable() (int, bool) {
+	if i := v.s.auxFind(HeapHeaviest, 0); i >= 0 {
 		return v.s.auxBest(i)
 	}
 	return 0, false
@@ -183,6 +202,56 @@ func (Newest) Next(v View) int {
 
 // HeapHints implements HeapHinted: a max-sequence heap replaces the scan.
 func (Newest) HeapHints() []HeapHint { return []HeapHint{{Kind: HeapNewest}} }
+
+// Heaviest delivers from the deliverable channel holding the most
+// queued pulses, ties toward the oldest head and then the lowest
+// channel id: a bursty adversary under which traffic piles up on one
+// link and flushes in a single burst. Serving the deepest backlog is
+// self-reinforcing on a relay ring — the flushed run lands on the next
+// channel, whose queue is now the deepest — so one ring-sized wave
+// sweeps the ring instead of n pulses trickling in lockstep. The
+// oldest-head tie-break matters: when every queue is depth one (the
+// start of a relay phase), the oldest parked pulse sits upstream of the
+// whole backlog in emission order, so starting there sends the sweep
+// downstream over every parked pulse and the snowball forms; a naive
+// lowest-channel tie-break can seed the sweep downstream of the
+// backlog, where relays die before ever meeting a parked pulse. That
+// makes Heaviest the schedule under which the pulse-run batch fast path
+// (WithBatching) coalesces maximally: canonical's oldest-first pick is
+// inherently breadth-first and keeps every queue shallow, which caps
+// batching near 3x on Algorithm 2, while Heaviest turns whole backlogs
+// into single O(1) transitions. Pulse totals are schedule-invariant, so
+// it probes the same Theta(n·ID_max) volume as every other stock
+// scheduler.
+//
+// On the sequential engine the HeapHeaviest hint makes the pick
+// O(log n). The sharded engine's arc views expose no count-keyed heap,
+// so there Heaviest falls back to an O(deliverable) scan per delivery —
+// correct but slow at scale, and the epoch barriers chop runs into
+// lockstep singles anyway. Large sharded runs want canonical; heaviest
+// is the sequential batch engine's scheduler.
+type Heaviest struct{}
+
+// Next implements Scheduler.
+func (Heaviest) Next(v View) int {
+	if hv, ok := v.(HeaviestView); ok {
+		if c, ok := hv.HeaviestDeliverable(); ok {
+			return c
+		}
+	}
+	ds := v.Deliverable()
+	best, qb := ds[0], v.QueueLen(ds[0])
+	for _, c := range ds[1:] {
+		if ql := v.QueueLen(c); ql > qb || (ql == qb && v.HeadSeq(c) < v.HeadSeq(best)) {
+			best, qb = c, ql
+		}
+	}
+	return best
+}
+
+// HeapHints implements HeapHinted: a max-queue-length heap replaces the
+// scan.
+func (Heaviest) HeapHints() []HeapHint { return []HeapHint{{Kind: HeapHeaviest}} }
 
 // Random delivers a uniformly random in-flight deliverable message
 // (channels weighted by queue length). Deterministic for a fixed seed.
@@ -371,6 +440,7 @@ func Stock(seed int64) map[string]Scheduler {
 	return map[string]Scheduler{
 		"canonical":  Canonical{},
 		"newest":     Newest{},
+		"heaviest":   Heaviest{},
 		"random":     NewRandom(seed),
 		"roundrobin": NewRoundRobin(),
 		"ccw-first":  DirBiased{Prefer: pulse.CCW},

@@ -63,6 +63,7 @@ func StockSharded(seed int64) map[string]MkScheduler {
 	return map[string]MkScheduler{
 		"canonical":  func(int) Scheduler { return Canonical{} },
 		"newest":     func(int) Scheduler { return Newest{} },
+		"heaviest":   func(int) Scheduler { return Heaviest{} },
 		"random":     func(arc int) Scheduler { return NewRandom(arcSeed(arc)) },
 		"roundrobin": func(int) Scheduler { return NewRoundRobin() },
 		"ccw-first":  func(int) Scheduler { return DirBiased{Prefer: pulse.CCW} },
@@ -127,6 +128,15 @@ type Sharded[M any] struct {
 	sentCCW   uint64
 	failed    error
 
+	// Batch fast path (WithShardBatching; pulse machines only), resolved
+	// exactly as on Sim: one of bms and fbm is non-nil when batch is set.
+	// runs/coalesced fold the arcs' per-epoch counters at barriers.
+	batch     bool
+	bms       []node.BatchMachine
+	fbm       node.FlatBatchMachine
+	runs      uint64
+	coalesced uint64
+
 	sendOff []uint64 // scratch: per-arc send prefix of the current barrier
 	stepOff []uint64 // scratch: per-arc step prefix of the current barrier
 
@@ -141,11 +151,15 @@ type Sharded[M any] struct {
 	progDelivered atomic.Uint64
 	progSent      atomic.Uint64
 	progEpoch     atomic.Uint64
+	progRuns      atomic.Uint64
+	progCoalesced atomic.Uint64
 }
 
-// borderSend is one cross-arc send buffered until the barrier.
+// borderSend is one cross-arc send — on the batch path, one cross-arc
+// run of cnt pulses — buffered until the barrier.
 type borderSend[M any] struct {
-	idx  uint64 // 1-based send index within the sending arc's epoch
+	idx  uint64 // 1-based send index of the (first) pulse within the arc's epoch
+	cnt  uint64 // pulses in the run (1 on the non-batched path)
 	ch   int32  // destination channel
 	from int32  // sending node (for the post-termination error message)
 	dir  pulse.Direction
@@ -187,10 +201,14 @@ type shardArc[M any] struct {
 	events []Event // this epoch's events (only when observers attached)
 	terms  []int   // nodes that terminated this epoch, in local order
 
-	sentE    uint64
-	sentCWE  uint64
-	sentCCWE uint64
-	deliverE uint64
+	runEm runEmitter // batch path: the arc's reusable counted-run emitter
+
+	sentE      uint64
+	sentCWE    uint64
+	sentCCWE   uint64
+	deliverE   uint64
+	runsE      uint64 // batch transitions this epoch
+	coalescedE uint64 // of those, multi-pulse transitions
 
 	err error // first failure in this arc's epoch
 }
@@ -222,7 +240,14 @@ func (v *arcView[M]) Deliverable() []int {
 	return v.scratch
 }
 func (v *arcView[M]) HeadSeq(c int) uint64 { return v.a.s.queues[c].front().seq }
-func (v *arcView[M]) QueueLen(c int) int   { return frozenLen(&v.a.s.queues[c], v.a.boundary) }
+func (v *arcView[M]) QueueLen(c int) int {
+	if v.a.s.batch {
+		// Entries are counted runs: the frozen pulse total is the
+		// scheduler-visible length, matching Sim.QueueLen's pulse count.
+		return int(frozenPulses(&v.a.s.queues[c], v.a.boundary))
+	}
+	return frozenLen(&v.a.s.queues[c], v.a.boundary)
+}
 func (v *arcView[M]) Direction(c int) pulse.Direction {
 	return v.a.s.chanDir[c]
 }
@@ -315,6 +340,9 @@ func NewSharded[M any](t ring.Topology, machines []node.Machine[M], shards int, 
 	for _, o := range opts {
 		o(s)
 	}
+	if err := s.setupShardBatch(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -336,6 +364,9 @@ func NewShardedFlat[M any](t ring.Topology, bank node.FlatMachine[M], shards int
 	s.flat = bank
 	for _, o := range opts {
 		o(s)
+	}
+	if err := s.setupShardBatch(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -599,6 +630,10 @@ func (a *shardArc[M]) runDeliveries() {
 			a.err = fmt.Errorf("sim: scheduler picked channel %d outside the frozen deliverable set", c)
 			return
 		}
+		if a.s.batch {
+			a.deliverRun(c)
+			continue
+		}
 		a.deliver(c)
 	}
 }
@@ -647,11 +682,11 @@ func (a *shardArc[M]) flushSends(from int, ev *Event) error {
 					return fmt.Errorf("%w: node %d sent %s toward node %d",
 						ErrPostTerminationSend, from, want, to)
 				}
-				s.queues[c].push(entry[M]{seq: a.boundary + a.sendIdx, msg: ps.msg})
+				s.queues[c].push(entry[M]{seq: a.boundary + a.sendIdx, cnt: 1, msg: ps.msg})
 				a.markDirty(c)
 			} else {
 				a.border = append(a.border, borderSend[M]{
-					idx: a.sendIdx, ch: int32(c), from: int32(from), dir: want, msg: ps.msg,
+					idx: a.sendIdx, cnt: 1, ch: int32(c), from: int32(from), dir: want, msg: ps.msg,
 				})
 			}
 			a.sentE++
@@ -841,20 +876,28 @@ borderLoop:
 				borderErrArc = i
 				break borderLoop
 			}
-			s.queues[b.ch].push(entry[M]{seq: boundary + off + b.idx, msg: b.msg})
+			s.queues[b.ch].push(entry[M]{seq: boundary + off + b.idx, cnt: b.cnt, msg: b.msg})
 		}
 	}
 
-	// Merged event stream: arc a's i-th event is global step
-	// step + stepPrefix[a] + i + 1, the step the sequential reference
-	// assigns it.
+	// Merged event stream: events take consecutive global step numbers
+	// starting at step + stepPrefix[a] + 1, each advancing by the pulses
+	// its transition consumed (Count, or 1) — the numbering the expanded
+	// sequential execution assigns. Without batching every Count is zero
+	// and this is step + stepPrefix[a] + i + 1 as before.
 	if len(s.obs) > 0 {
 		for i := range s.arcs {
 			a := &s.arcs[i]
 			base := s.step + s.stepOff[i]
+			var stepAcc uint64
 			for j := range a.events {
 				ev := &a.events[j]
-				ev.Step = base + uint64(j) + 1
+				ev.Step = base + stepAcc + 1
+				if ev.Count > 1 {
+					stepAcc += ev.Count
+				} else {
+					stepAcc++
+				}
 				for _, o := range s.obs {
 					if err := o.OnEvent(ev, s); err != nil {
 						err = fmt.Errorf("sim: observer: %w", err)
@@ -877,6 +920,8 @@ borderLoop:
 		s.sentCW += a.sentCWE
 		s.sentCCW += a.sentCCWE
 		s.delivered += a.deliverE
+		s.runs += a.runsE
+		s.coalesced += a.coalescedE
 		s.ordTerm = append(s.ordTerm, a.terms...)
 		if firstErr == nil && a.err != nil {
 			firstErr = a.err
@@ -891,6 +936,8 @@ borderLoop:
 	s.progDelivered.Add(totDeliv)
 	s.progSent.Add(totSends)
 	s.progEpoch.Add(1)
+	s.progRuns.Store(s.runs)
+	s.progCoalesced.Store(s.coalesced)
 
 	// Advance every arc to the new boundary, then re-freeze the
 	// channels whose queues changed: this epoch's enqueue targets and
@@ -903,6 +950,7 @@ borderLoop:
 		a.localSteps = 0
 		a.sendIdx = 0
 		a.sentE, a.sentCWE, a.sentCCWE, a.deliverE = 0, 0, 0, 0
+		a.runsE, a.coalescedE = 0, 0
 		a.terms = a.terms[:0]
 		a.events = a.events[:0]
 	}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// The batch fast path of the sharded engine.
+//
+// Batching composes with sharding exactly because both are built on the
+// same invariant: a channel's frozen prefix is fully described by pulse
+// counts and sequence numbers. During an epoch an arc hands a channel's
+// entire frozen pulse count to OnPulses as the run budget; the consumed
+// prefix is popped, emissions enter the wire as counted runs under
+// provisional sequence numbers (the run's first pulse takes
+// boundary + sendIdx + 1, the rest follow contiguously), and the
+// barrier's arc-major renumbering shifts whole runs the way it shifts
+// single sends. Runs never straddle an epoch boundary — frozen entries
+// were all renumbered at the previous barrier and pushRun's mergeFloor
+// keeps this epoch's provisional pulses out of frozen tails — so the
+// frozen budget, the renumber split, and the re-freeze all work on
+// whole entries.
+//
+// Equivalence story, composed: the sharded batched execution expands
+// (run by run) to a sharded pulse-by-pulse execution, which PR 8's
+// argument maps to a sequential execution; BatchReferenceRun replays
+// the expansion directly on the plain sequential engine and the
+// differential tests assert event-for-event agreement.
+
+// WithShardBatching enables the pulse-run batch fast path on the
+// sharded engine — sim.WithBatching for arc workers. Pulse-only by
+// construction; every machine (or the flat bank) must implement the
+// batch interfaces or construction fails with ErrBatchUnsupported.
+func WithShardBatching() ShardOption[pulse.Pulse] {
+	return func(s *Sharded[pulse.Pulse]) { s.batch = true }
+}
+
+// setupShardBatch validates and wires the batch fast path after options
+// ran, resolving the batch-capable bank exactly as the sequential
+// engine does.
+func (s *Sharded[M]) setupShardBatch() error {
+	if !s.batch {
+		return nil
+	}
+	bms, fbm, err := resolveBatch[M](s.machines, s.flat)
+	if err != nil {
+		return err
+	}
+	s.bms, s.fbm = bms, fbm
+	return nil
+}
+
+// deliverRun is the arc worker's batch delivery: the frozen pulse count
+// of channel c — not the whole queue; this epoch's own emissions are
+// invisible to every scheduler and every transition — is the run budget
+// handed to OnPulses.
+func (a *shardArc[M]) deliverRun(c int) {
+	s := a.s
+	k, p := ChanNode(c), ChanPort(c)
+	avail := frozenPulses(&s.queues[c], a.boundary)
+	a.runEm.buf = a.runEm.buf[:0]
+	var consumed uint64
+	if s.fbm != nil {
+		consumed = s.fbm.OnPulses(k, p, avail, &a.runEm)
+	} else {
+		consumed = s.bms[k].OnPulses(p, avail, &a.runEm)
+	}
+	if consumed == 0 || consumed > avail {
+		a.err = fmt.Errorf("sim: batch transition at node %d consumed %d of %d frozen pulses", k, consumed, avail)
+		return
+	}
+	s.queues[c].popPulses(consumed)
+	a.deliverE += consumed
+	a.localSteps += consumed
+	a.runsE++
+	if consumed > 1 {
+		a.coalescedE++
+	}
+	var ev *Event
+	if len(s.obs) > 0 {
+		a.events = append(a.events, Event{Kind: EvDeliver, Node: k, Port: p,
+			Dir: s.chanDir[c], Count: consumed})
+		ev = &a.events[len(a.events)-1]
+	}
+	if err := a.flushRuns(k, consumed, ev); err != nil {
+		a.err = err
+		return
+	}
+	a.afterHandler(k, ev)
+}
+
+// flushRuns is the arc's flushSends for a batch transition: clockwise
+// runs first, each run numbered by the arc's running send index
+// (provisional first-pulse sequence boundary + sendIdx + 1, exactly the
+// numbers the expanded pulse-by-pulse epoch assigns, because uniform
+// run emissions are per-channel contiguous). Intra-arc runs enqueue
+// immediately; cross-arc runs are buffered as counted border sends.
+func (a *shardArc[M]) flushRuns(from int, consumed uint64, ev *Event) error {
+	s := a.s
+	buf := a.runEm.buf
+	if err := checkRunUniformity(buf, consumed); err != nil {
+		return err
+	}
+	var zero M
+	for pass := 0; pass < 2; pass++ {
+		want := pulse.CW
+		if pass == 1 {
+			want = pulse.CCW
+		}
+		for _, pr := range buf {
+			out := chanID(from, pr.port)
+			if s.outDir[out] != want {
+				continue
+			}
+			c := s.peerCh[out]
+			to := ChanNode(c)
+			first := a.boundary + a.sendIdx + 1
+			a.sendIdx += pr.n
+			if to >= a.lo && to < a.hi {
+				if s.terminated[to] {
+					return fmt.Errorf("%w: node %d sent %s toward node %d",
+						ErrPostTerminationSend, from, want, to)
+				}
+				s.queues[c].pushRun(entry[M]{seq: first, cnt: pr.n, msg: zero}, a.boundary)
+				a.markDirty(c)
+			} else {
+				a.border = append(a.border, borderSend[M]{
+					idx: first - a.boundary, cnt: pr.n,
+					ch: int32(c), from: int32(from), dir: want, msg: zero,
+				})
+			}
+			a.sentE += pr.n
+			if want == pulse.CW {
+				a.sentCWE += pr.n
+			} else {
+				a.sentCCWE += pr.n
+			}
+			if ev != nil {
+				ev.Sends = append(ev.Sends, SendRec{
+					From: from, Port: pr.port, Dir: want,
+					To:    ring.Endpoint{Node: to, Port: ChanPort(c)},
+					Count: pr.n,
+				})
+			}
+		}
+	}
+	a.runEm.buf = a.runEm.buf[:0]
+	return nil
+}
+
+// RunsCoalesced reports the batch fast path's win so far, as
+// Sim.RunsCoalesced: batch transitions executed, and how many of those
+// consumed more than one pulse. Accurate at barriers.
+func (s *Sharded[M]) RunsCoalesced() (transitions, multi uint64) { return s.runs, s.coalesced }
+
+// ProgressRuns is the concurrent-reader twin of RunsCoalesced for
+// progress reporters: safe to call from another goroutine while Run
+// executes, updated once per epoch barrier. Both are zero without
+// WithShardBatching.
+func (s *Sharded[M]) ProgressRuns() (transitions, multi uint64) {
+	return s.progRuns.Load(), s.progCoalesced.Load()
+}
+
+// resolveBatch resolves the batch-capable view of a machine bank:
+// either every pointer machine implements node.BatchMachine or the flat
+// bank implements node.FlatBatchMachine. Shared by the sequential and
+// sharded constructors so both reject unsupported banks identically.
+func resolveBatch[M any](machines []node.Machine[M], flat node.FlatMachine[M]) ([]node.BatchMachine, node.FlatBatchMachine, error) {
+	if flat != nil {
+		fbm, ok := any(flat).(node.FlatBatchMachine)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: bank %T does not implement node.FlatBatchMachine", ErrBatchUnsupported, flat)
+		}
+		return nil, fbm, nil
+	}
+	bms := make([]node.BatchMachine, len(machines))
+	for k, m := range machines {
+		bm, ok := any(m).(node.BatchMachine)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: machine %d (%T) does not implement node.BatchMachine", ErrBatchUnsupported, k, m)
+		}
+		bms[k] = bm
+	}
+	return bms, nil, nil
+}

@@ -52,6 +52,20 @@ var (
 
 	// ErrMachineFault: a machine reported a protocol fault via Status().Err.
 	ErrMachineFault = errors.New("sim: machine fault")
+
+	// ErrFaultPlaneUndoable: WithFaultPlane was combined with a machine
+	// bank that cannot satisfy it. Restart and corrupt injections
+	// snapshot and restore per-node state through node.Undoable, which
+	// only pointer machines implement; a FlatMachine bank exposes no
+	// per-node snapshot/restore surface, so NewFlat rejects the
+	// combination with this error (see DESIGN.md §9).
+	ErrFaultPlaneUndoable = errors.New("sim: fault plane requires node.Undoable pointer machines")
+
+	// ErrBatchUnsupported: WithBatching was combined with a machine bank
+	// or option it cannot drive: every machine must implement
+	// node.BatchMachine (flat banks: node.FlatBatchMachine), and the
+	// batch fast path is model-exact, so the fault plane is rejected.
+	ErrBatchUnsupported = errors.New("sim: batching unsupported for this configuration")
 )
 
 // EventKind distinguishes the two things that can happen in an event-driven
@@ -64,22 +78,33 @@ const (
 	EvDeliver
 )
 
-// SendRec records one message emission for observers.
+// SendRec records one message emission for observers. On the batched
+// fast path (WithBatching) a record may describe a counted run: Count
+// holds the run length, and 0 — the value every non-batched path leaves
+// — means a single message.
 type SendRec struct {
-	From int
-	Port pulse.Port
-	Dir  pulse.Direction
-	To   ring.Endpoint
+	From  int
+	Port  pulse.Port
+	Dir   pulse.Direction
+	To    ring.Endpoint
+	Count uint64 `json:",omitempty"` // run length; 0 means 1
 }
 
 // Event describes one simulator step for observers. Payloads are not
 // included; observers needing algorithm state introspect machines directly.
+// On the batched fast path one event describes a whole batch transition:
+// Count holds how many pulses it consumed (0 — the value every
+// non-batched path leaves — means 1), Step is the step of the FIRST
+// pulse of the run (the transition spans steps Step..Step+Count-1 of
+// the equivalent pulse-by-pulse execution), and Sends carries counted
+// runs.
 type Event struct {
 	Kind  EventKind
 	Step  uint64
 	Node  int
 	Port  pulse.Port      // delivery port (EvDeliver only)
 	Dir   pulse.Direction // arrival direction (EvDeliver only)
+	Count uint64          `json:",omitempty"` // pulses consumed; 0 means 1
 	Sends []SendRec       // emissions of this handler invocation
 }
 
@@ -140,9 +165,14 @@ type Sim[M any] struct {
 	// instead of an O(n) scan. Entries are validated on inspection (the
 	// channel must still be deliverable with that exact head), stale ones
 	// are dropped lazily, and heapSeq deduplicates pushes so each
-	// (channel, seq) pair is enqueued at most once.
-	oldest  []heapEntry
-	heapSeq []uint64 // last seq pushed per channel; 0 = none
+	// (channel, seq) pair is enqueued at most once. Maintenance starts at
+	// the first OldestDeliverable consult (oldestOn): schedulers that
+	// never ask — Heaviest, Newest, Random — pay nothing, and the first
+	// consult rebuilds the heap from the live deliverable set, which is
+	// exactly the candidate set continuous maintenance would have kept.
+	oldest   []heapEntry
+	heapSeq  []uint64 // last seq pushed per channel; 0 = none
+	oldestOn bool
 
 	// aux holds the scheduler-requested priority heaps (see HeapHinted):
 	// lazily validated like oldest, but ordered by a per-heap key so
@@ -162,6 +192,17 @@ type Sim[M any] struct {
 	em      emitter[M]
 	failed  error
 
+	// Batch fast path (WithBatching; pulse machines only). Exactly one
+	// of bms and fbm is non-nil when batch is set; runEm is the reusable
+	// counted-run emitter handed to OnPulses; runs/coalesced feed the
+	// RunsCoalesced accessor and the progress reporter.
+	batch     bool
+	bms       []node.BatchMachine
+	fbm       node.FlatBatchMachine
+	runEm     runEmitter
+	runs      uint64 // batch transitions (OnPulses invocations)
+	coalesced uint64 // batch transitions that consumed more than one pulse
+
 	// Fault plane (nil on model-exact runs). crashed nodes consume
 	// nothing; initSnap holds pre-Init Undoable snapshots for restarts.
 	plane    *fault.Plane
@@ -169,8 +210,17 @@ type Sim[M any] struct {
 	initSnap [][]byte
 }
 
+// entry is one queued element of a channel FIFO. On non-batched paths
+// every entry is a single message (cnt == 1). The batched fast path
+// (WithBatching) stores counted pulse runs instead: an entry with
+// cnt == c represents c contentless pulses occupying the contiguous
+// sequence numbers seq .. seq+c-1 — sound because a content-oblivious
+// channel's state IS its pulse count, and exact because run emissions
+// are per-channel contiguous in the expanded execution (see the
+// BatchMachine contract).
 type entry[M any] struct {
 	seq uint64
+	cnt uint64
 	msg M
 }
 
@@ -178,10 +228,13 @@ type entry[M any] struct {
 // messages. Unlike q = q[1:] re-slicing it never pins its backing array:
 // popped slots are reused, so a channel that stays shallow never grows
 // past a few entries no matter how many messages pass through it.
+// tot is the queued message count (Σ cnt over entries): equal to n on
+// non-batched paths, and the scheduler-visible queue length everywhere.
 type fifo[M any] struct {
 	buf  []entry[M] // power-of-two capacity
 	head int
 	n    int
+	tot  uint64
 }
 
 func (q *fifo[M]) push(e entry[M]) {
@@ -194,6 +247,27 @@ func (q *fifo[M]) push(e entry[M]) {
 	}
 	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
 	q.n++
+	q.tot += e.cnt
+}
+
+// pushRun appends a counted pulse run, coalescing it into the tail
+// entry when the sequence ranges are contiguous. Only the batched fast
+// path calls this (messages are contentless pulses, so merging entries
+// never conflates payloads). Runs whose tail lies at or below
+// mergeFloor are never merged into: the sharded engine passes its epoch
+// boundary so a frozen (final-numbered) tail cannot absorb pulses that
+// still carry provisional sequence numbers and must be renumbered at
+// the barrier.
+func (q *fifo[M]) pushRun(e entry[M], mergeFloor uint64) {
+	if q.n > 0 {
+		tail := &q.buf[(q.head+q.n-1)&(len(q.buf)-1)]
+		if tail.seq > mergeFloor && tail.seq+tail.cnt == e.seq {
+			tail.cnt += e.cnt
+			q.tot += e.cnt
+			return
+		}
+	}
+	q.push(e)
 }
 
 func (q *fifo[M]) pop() entry[M] {
@@ -201,7 +275,28 @@ func (q *fifo[M]) pop() entry[M] {
 	q.buf[q.head] = entry[M]{} // release any payload reference
 	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
+	q.tot -= e.cnt
 	return e
+}
+
+// popPulses consumes m pulses from the front of the queue, splitting a
+// partially consumed run in place (its remainder keeps ascending,
+// contiguous numbering, so the front's seq stays the oldest queued
+// pulse's). m must be at most tot.
+func (q *fifo[M]) popPulses(m uint64) {
+	q.tot -= m
+	for m > 0 {
+		f := &q.buf[q.head]
+		if f.cnt > m {
+			f.seq += m
+			f.cnt -= m
+			return
+		}
+		m -= f.cnt
+		q.buf[q.head] = entry[M]{}
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+		q.n--
+	}
 }
 
 func (q *fifo[M]) front() *entry[M] { return &q.buf[q.head] }
@@ -228,6 +323,25 @@ func frozenLen[M any](q *fifo[M], boundary uint64) int {
 	return lo
 }
 
+// frozenPulses returns how many pulses (Σ cnt over the frozen entry
+// prefix) carry a sequence number at or below boundary. Entries are
+// whole runs: at a barrier every queued entry lies entirely at or below
+// the new boundary, and entries queued mid-epoch lie entirely above it
+// (pushRun's mergeFloor keeps the two from coalescing), so a run never
+// straddles the boundary. This is the batched sharded engine's
+// scheduler-visible queue length and its per-transition run budget.
+func frozenPulses[M any](q *fifo[M], boundary uint64) uint64 {
+	fl := frozenLen(q, boundary)
+	if fl == q.n {
+		return q.tot
+	}
+	var tot uint64
+	for i := 0; i < fl; i++ {
+		tot += q.at(i).cnt
+	}
+	return tot
+}
+
 // heapEntry is one candidate in the oldest-deliverable min-heap.
 type heapEntry struct {
 	seq uint64
@@ -235,8 +349,26 @@ type heapEntry struct {
 }
 
 func (s *Sim[M]) heapPush(c int, seq uint64) {
+	if !s.oldestOn {
+		return // nobody has consulted the oldest heap; don't maintain it
+	}
 	if s.heapSeq[c] == seq {
 		return // this exact candidate is already enqueued
+	}
+	if len(s.oldest) >= 2*len(s.queues)+64 {
+		// Stale entries are normally drained by oldestDeliverable, but a
+		// consumer that stops consulting (a direction-biased scheduler
+		// starved of its preferred direction falls back elsewhere) would
+		// otherwise leave one behind per head advance — unbounded growth
+		// on a long run. Rebuilding from the live deliverable heads once
+		// the heap outgrows twice the channel count caps it at
+		// O(channels) for amortized O(1) per push. heapPush runs only
+		// for deliverable heads, so the rebuild re-registers (c, seq)
+		// itself.
+		s.heapCompact()
+		if s.heapSeq[c] == seq {
+			return
+		}
 	}
 	s.heapSeq[c] = seq
 	h := append(s.oldest, heapEntry{seq: seq, c: c})
@@ -248,6 +380,41 @@ func (s *Sim[M]) heapPush(c int, seq uint64) {
 		}
 		h[parent], h[i] = h[i], h[parent]
 		i = parent
+	}
+	s.oldest = h
+}
+
+// heapCompact rebuilds the oldest heap from exactly the live candidate
+// set: every deliverable channel's current head, nothing else.
+func (s *Sim[M]) heapCompact() {
+	h := s.oldest[:0]
+	for i := range s.heapSeq {
+		s.heapSeq[i] = 0
+	}
+	for c := range s.queues {
+		if !s.deliv.get(c) {
+			continue
+		}
+		seq := s.queues[c].front().seq
+		s.heapSeq[c] = seq
+		h = append(h, heapEntry{seq: seq, c: c})
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		for j := i; ; {
+			l, r := 2*j+1, 2*j+2
+			small := j
+			if l < len(h) && h[l].seq < h[small].seq {
+				small = l
+			}
+			if r < len(h) && h[r].seq < h[small].seq {
+				small = r
+			}
+			if small == j {
+				break
+			}
+			h[j], h[small] = h[small], h[j]
+			j = small
+		}
 	}
 	s.oldest = h
 }
@@ -288,6 +455,14 @@ func (s *Sim[M]) heapDrop() {
 func (s *Sim[M]) oldestDeliverable() (c int, ok bool) {
 	if s.rescan {
 		return 0, false
+	}
+	if !s.oldestOn {
+		// First consult: switch maintenance on and seed the heap with the
+		// live candidate set — every deliverable channel's current head,
+		// which is exactly what continuous maintenance would hold (minus
+		// stale entries). Incremental pushes keep it current from here.
+		s.oldestOn = true
+		s.heapCompact()
 	}
 	for len(s.oldest) > 0 {
 		top := s.oldest[0]
@@ -409,6 +584,9 @@ func New[M any](t ring.Topology, machines []node.Machine[M], sched Scheduler, op
 	}
 	s.machines = machines
 	s.finish(opts)
+	if err := s.setupBatch(); err != nil {
+		return nil, err
+	}
 	if s.plane != nil {
 		s.captureInitialSnapshots()
 	}
@@ -435,8 +613,11 @@ func NewFlat[M any](t ring.Topology, bank node.FlatMachine[M], sched Scheduler, 
 	}
 	s.flat = bank
 	s.finish(opts)
+	if err := s.setupBatch(); err != nil {
+		return nil, err
+	}
 	if s.plane != nil {
-		return nil, errors.New("sim: fault plane requires pointer machines (node.Undoable), not a FlatMachine bank")
+		return nil, fmt.Errorf("%w: FlatMachine banks expose no per-node snapshot/restore surface for restart and corrupt injections", ErrFaultPlaneUndoable)
 	}
 	return s, nil
 }
@@ -551,7 +732,7 @@ func (s *Sim[M]) flushSends(from int, ev *Event) error {
 // Sent and InFlight count adversarial traffic too.
 func (s *Sim[M]) enqueue(c int, msg M, dir pulse.Direction) {
 	s.seq++
-	s.queues[c].push(entry[M]{seq: s.seq, msg: msg})
+	s.queues[c].push(entry[M]{seq: s.seq, cnt: 1, msg: msg})
 	s.sent++
 	if dir == pulse.CW {
 		s.sentCW++
@@ -562,6 +743,10 @@ func (s *Sim[M]) enqueue(c int, msg M, dir pulse.Direction) {
 		// Empty -> non-empty is the only enqueue transition that can
 		// change deliverability.
 		s.refreshChan(c)
+	} else if len(s.aux) > 0 && s.deliv.get(c) {
+		// The head is unchanged, so the head-keyed heaps dedup this to
+		// a no-op; only a count-keyed heap (HeapHeaviest) re-registers.
+		s.auxPush(c, s.queues[c].front().seq)
 	}
 }
 
@@ -696,6 +881,11 @@ func (s *Sim[M]) Deliver(c int) error {
 	if s.failed != nil {
 		return s.failed
 	}
+	if s.batch {
+		// Queues hold counted runs, not single messages; the batch
+		// delivery loop (RunDeliveries) is the only admissible driver.
+		return errors.New("sim: Deliver is pulse-by-pulse; drive batched simulations with Run or RunDeliveries")
+	}
 	if c < 0 || c >= len(s.queues) || s.queues[c].n == 0 {
 		return fmt.Errorf("sim: deliver on empty or invalid channel %d", c)
 	}
@@ -765,8 +955,16 @@ func (s *Sim[M]) Topology() ring.Topology { return s.topo }
 // Step returns the number of handler invocations so far.
 func (s *Sim[M]) Step() uint64 { return s.step }
 
-// QueueLen returns the number of messages queued on channel c.
-func (s *Sim[M]) QueueLen(c int) int { return s.queues[c].n }
+// QueueLen returns the number of messages queued on channel c. On the
+// batched fast path this counts pulses, not run entries, so schedulers
+// that weight by queue length (Random) see the same quantity on both
+// paths.
+func (s *Sim[M]) QueueLen(c int) int { return int(s.queues[c].tot) }
+
+// RunsCoalesced reports the batch fast path's win so far: the number of
+// batch transitions executed and, of those, how many consumed more than
+// one pulse in a single O(1) step. Both are zero without WithBatching.
+func (s *Sim[M]) RunsCoalesced() (transitions, multi uint64) { return s.runs, s.coalesced }
 
 // headSeq returns the send sequence number of channel c's oldest message.
 func (s *Sim[M]) headSeq(c int) uint64 { return s.queues[c].front().seq }
@@ -816,6 +1014,12 @@ func (s *Sim[M]) RunDeliveries(limit uint64) (Result, error) {
 			return s.Result(), s.fail(fmt.Errorf("%w: %d in flight", ErrStalled, s.InFlight()))
 		}
 		c := s.sched.Next(&view)
+		if s.batch {
+			if err := s.deliverRun(c); err != nil {
+				return s.Result(), err
+			}
+			continue
+		}
 		if err := s.Deliver(c); err != nil {
 			return s.Result(), err
 		}
