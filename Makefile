@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke shard-smoke batch-smoke
+.PHONY: check fmt vet lint lint-bench build test race fuzz-smoke bench modelcheck-smoke fault-smoke fault-verify-smoke shard-smoke batch-smoke
 
 # check chains the full tier-1 verify: formatting, vet, the oblint
 # model-invariant analyzer, build, and tests.
@@ -134,6 +134,28 @@ fault-smoke:
 	$(GO) test -race ./internal/fault/... ./internal/live/...
 	@echo "faulted replays byte-identical; fault and live packages race-clean"
 	@rm -f .fault-run-a.txt .fault-run-b.txt
+
+# fault-verify-smoke proves the fault-aware explorer's determinism
+# contract: a finite exhaustive census (loss+crash+corrupt, the
+# conserving classes) and a budget-aborted divergent census (dup) must
+# both emit byte-identical -json reports at workers=1 and workers=4 —
+# partial reports included, via the canonical sequential fallback — and
+# the crash-then-heal supervisor must be race-clean.
+fault-verify-smoke:
+	$(GO) run ./cmd/modelcheck -algo alg2 -ids 3,1,2 -faults loss,crash,corrupt \
+		-json -workers 1 > .fverify-w1.json
+	$(GO) run ./cmd/modelcheck -algo alg2 -ids 3,1,2 -faults loss,crash,corrupt \
+		-json -workers 4 > .fverify-w4.json
+	cmp .fverify-w1.json .fverify-w4.json
+	-$(GO) run ./cmd/modelcheck -algo alg2 -ids 3,1,2 -faults dup -max-states 20000 \
+		-json -workers 1 > .fverify-div-w1.json
+	-$(GO) run ./cmd/modelcheck -algo alg2 -ids 3,1,2 -faults dup -max-states 20000 \
+		-json -workers 4 > .fverify-div-w4.json
+	cmp .fverify-div-w1.json .fverify-div-w4.json
+	grep -q '"ok": false' .fverify-div-w1.json  # the divergent census must abort on budget
+	$(GO) test -race -run 'TestSupervisor|TestStallReport|TestErrTimeout' ./internal/live/
+	@echo "fault-aware reports identical at workers=1 and workers=4 (finite and budget-aborted); supervisor race-clean"
+	@rm -f .fverify-w1.json .fverify-w4.json .fverify-div-w1.json .fverify-div-w4.json
 
 # shard-smoke proves the sharded engine's determinism contract end to
 # end: two parallel runs with identical parameters — randomized

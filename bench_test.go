@@ -14,6 +14,7 @@ import (
 	"coleader/internal/check"
 	"coleader/internal/core"
 	"coleader/internal/defective"
+	"coleader/internal/fault"
 	"coleader/internal/live"
 	"coleader/internal/lowerbound"
 	"coleader/internal/node"
@@ -533,6 +534,37 @@ func BenchmarkExhaustiveParallel(b *testing.B) {
 			b.ReportMetric(float64(states), "states/op")
 		})
 	}
+}
+
+// BenchmarkExhaustiveFaults is E17's regenerator: the fault-aware
+// explorer over the conserving classes (loss, crash, corrupt) on the
+// 3-ring, budget 1 — a finite space enumerated completely every op. The
+// per-state cost over BenchmarkExhaustive prices the fault key folding
+// (crash bits, window counters, injection log) and the injection
+// branching.
+func BenchmarkExhaustiveFaults(b *testing.B) {
+	ids := []uint64{3, 1, 2}
+	topo, err := ring.Oriented(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := fault.Plan{
+		Classes: fault.NewSet(fault.Loss, fault.Crash, fault.Corrupt),
+		Budget:  1,
+	}
+	var states int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := check.ExhaustiveFaults(check.Config{
+			Topo:        topo,
+			NewMachines: func() ([]node.PulseMachine, error) { return core.Alg2Machines(topo, ids) },
+		}, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = rep.StatesVisited
+	}
+	b.ReportMetric(float64(states), "states/op")
 }
 
 // BenchmarkUniversalTransport measures the full-strength Corollary 5

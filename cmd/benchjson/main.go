@@ -5,6 +5,11 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -label post -out BENCH_sim.json
 //
+// Merge a partial run (e.g. one new benchmark) into an existing entry by
+// benchmark name, keeping its other results:
+//
+//	go test -run '^$' -bench ExhaustiveFaults -benchmem . | benchjson -label post -merge -out BENCH_sim.json
+//
 // Compare two recorded runs:
 //
 //	benchjson -out BENCH_sim.json -compare pre,post -metric ns/op
@@ -37,16 +42,20 @@ func main() {
 	compare := flag.String("compare", "", "compare two labels ('old,new') instead of recording")
 	metric := flag.String("metric", "ns/op", "metric for -compare")
 	threshold := flag.Float64("threshold", 0, "with -compare: fail if ns/op or allocs/op grew by more than this percentage")
+	merge := flag.Bool("merge", false, "merge results into an existing entry by benchmark name instead of replacing the whole entry")
 	flag.Parse()
 
-	if err := run(*in, *out, *label, *note, *compare, *metric, *threshold); err != nil {
+	if err := run(*in, *out, *label, *note, *compare, *metric, *threshold, *merge); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, label, note, compare, metric string, threshold float64) error {
+func run(in, out, label, note, compare, metric string, threshold float64, merge bool) error {
 	if compare != "" {
+		if merge {
+			return errors.New("-merge only applies when recording")
+		}
 		return runCompare(out, compare, metric, threshold)
 	}
 	if threshold != 0 {
@@ -77,7 +86,12 @@ func run(in, out, label, note, compare, metric string, threshold float64) error 
 	if err != nil {
 		return err
 	}
-	file.Record(benchjson.Entry{Label: label, Note: note, Results: results})
+	e := benchjson.Entry{Label: label, Note: note, Results: results}
+	if merge {
+		file.Merge(e)
+	} else {
+		file.Record(e)
+	}
 
 	var buf bytes.Buffer
 	if err := file.Encode(&buf); err != nil {

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (E1..E16 or 'all')")
+	exp := flag.String("exp", "all", "experiment to run (E1..E17 or 'all')")
 	seed := flag.Int64("seed", 1, "root seed for all randomized components")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	csvOut := flag.Bool("csv", false, "emit CSV (one block per table) for external plotting")
@@ -36,7 +36,7 @@ func main() {
 	} else {
 		e, ok := experiments.Find(strings.ToUpper(*exp))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E16 or all)\n", *exp)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E17 or all)\n", *exp)
 			os.Exit(2)
 		}
 		todo = []experiments.Experiment{e}

@@ -13,11 +13,22 @@
 //	modelcheck -algo alg2 -ids 4,1,2 -workers 4  # parallel exploration
 //	modelcheck -algo alg2 -ids 3,1,2 -json       # machine-readable report
 //	modelcheck -algo alg2 -ids 3,1,2 -audit-collisions
+//	modelcheck -algo alg2 -ids 3,1,2 -faults loss,crash   # fault-aware DFS
+//	modelcheck -algo alg1 -ids 2,1,2 -faults corrupt -fault-budget 2
+//
+// With -faults the DFS branches over every injection point of the listed
+// classes (up to -fault-budget per path) alongside every scheduler choice,
+// and classifies each faulted terminal as clean, degraded, or stalled
+// instead of aborting. Pulse-adding classes (dup, spurious, restart) have
+// infinite state spaces; bound them with -max-states and read the verdict
+// as certified-up-to-budget.
 //
 // The report (counters, verdict, witness) is identical at every -workers
 // width and under every memo mode; -json output in particular is
 // byte-for-byte reproducible, which CI exploits by diffing a -workers=1
-// run against a -workers=4 run.
+// run against a -workers=4 run. This holds for fault-aware runs too, even
+// ones that abort on the state budget (the parallel engine falls back to
+// the canonical sequential rerun on any failure).
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 
 	"coleader/internal/check"
 	"coleader/internal/core"
+	"coleader/internal/fault"
 	"coleader/internal/node"
 	"coleader/internal/ring"
 	"coleader/internal/trace"
@@ -47,17 +59,32 @@ func main() {
 // execution-dependent (worker count, timing): the same instance must
 // produce the same bytes at any parallelism.
 type jsonReport struct {
-	Algo           string   `json:"algo"`
-	IDs            []uint64 `json:"ids"`
-	Flips          string   `json:"flips,omitempty"`
-	ExploreInits   bool     `json:"exploreInits"`
-	OK             bool     `json:"ok"`
-	StatesVisited  int      `json:"statesVisited"`
-	TerminalStates int      `json:"terminalStates"`
-	MaxDepth       int      `json:"maxDepth"`
-	Confluent      bool     `json:"confluent"`
-	Error          string   `json:"error,omitempty"`
-	Witness        []string `json:"witness,omitempty"`
+	Algo           string      `json:"algo"`
+	IDs            []uint64    `json:"ids"`
+	Flips          string      `json:"flips,omitempty"`
+	ExploreInits   bool        `json:"exploreInits"`
+	OK             bool        `json:"ok"`
+	StatesVisited  int         `json:"statesVisited"`
+	TerminalStates int         `json:"terminalStates"`
+	MaxDepth       int         `json:"maxDepth"`
+	Confluent      bool        `json:"confluent"`
+	Faults         *jsonFaults `json:"faults,omitempty"`
+	Error          string      `json:"error,omitempty"`
+	Witness        []string    `json:"witness,omitempty"`
+}
+
+// jsonFaults is the fault-aware section of the -json report. It is nil
+// (and absent from the output) in faultless runs, so faultless -json
+// bytes are unchanged by the fault feature's existence.
+type jsonFaults struct {
+	Classes           string `json:"classes"`
+	Budget            int    `json:"budget"`
+	Window            uint64 `json:"window,omitempty"`
+	InjectionEdges    int    `json:"injectionEdges"`
+	ViolationEdges    int    `json:"violationEdges"`
+	CleanTerminals    int    `json:"cleanTerminals"`
+	DegradedTerminals int    `json:"degradedTerminals"`
+	StalledTerminals  int    `json:"stalledTerminals"`
 }
 
 func run() error {
@@ -70,10 +97,42 @@ func run() error {
 	fingerprintMemo := flag.Bool("fingerprint", true, "memoize 64-bit state fingerprints instead of full keys")
 	auditCollisions := flag.Bool("audit-collisions", false, "keep full keys alongside fingerprints and fail on any collision")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout")
+	faultsFlag := flag.String("faults", "", "fault classes to branch over (loss,dup,spurious,crash,restart,corrupt or all); empty disables fault-aware exploration")
+	faultBudget := flag.Int("fault-budget", 1, "max injections per explored path (with -faults)")
+	faultWindow := flag.Uint64("fault-window", 0, "restrict injections to each entity's first N events (0 = unbounded)")
+	faultMasks := flag.String("fault-masks", "", "comma-separated corrupt XOR masks (default: the eight single-bit masks)")
 	flag.Parse()
 
 	if *maxStates <= 0 {
 		return fmt.Errorf("-max-states must be positive, got %d", *maxStates)
+	}
+
+	var plan fault.Plan
+	if *faultsFlag != "" {
+		classes, err := fault.ParseSet(*faultsFlag)
+		if err != nil {
+			return err
+		}
+		plan = fault.Plan{Classes: classes, Budget: *faultBudget, Window: *faultWindow}
+		for _, part := range strings.Split(*faultMasks, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			m, err := strconv.ParseUint(part, 0, 8)
+			if err != nil {
+				return fmt.Errorf("bad corrupt mask %q: %w", part, err)
+			}
+			plan.CorruptMasks = append(plan.CorruptMasks, byte(m))
+		}
+		// Fault-aware spaces are far larger (and divergent for the
+		// pulse-adding classes); unless the user pinned -max-states, use
+		// the fault-mode default budget rather than the faultless one.
+		explicitMax := false
+		flag.Visit(func(f *flag.Flag) { explicitMax = explicitMax || f.Name == "max-states" })
+		if !explicitMax {
+			*maxStates = 0 // let check.ExhaustiveFaults pick its fault-mode default
+		}
 	}
 
 	ids, err := parseIDs(*idsFlag)
@@ -174,7 +233,14 @@ func run() error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
-	rep, err := check.Exhaustive(cfg)
+	var rep check.Report
+	var frep check.FaultReport
+	if plan.Active() {
+		frep, err = check.ExhaustiveFaults(cfg, plan)
+		rep = frep.Report
+	} else {
+		rep, err = check.Exhaustive(cfg)
+	}
 
 	if *jsonOut {
 		out := jsonReport{
@@ -188,9 +254,25 @@ func run() error {
 			MaxDepth:       rep.MaxDepth,
 			Confluent:      err == nil && rep.TerminalStates == 1,
 		}
+		if plan.Active() {
+			out.Faults = &jsonFaults{
+				Classes:           plan.Classes.String(),
+				Budget:            plan.Budget,
+				Window:            plan.Window,
+				InjectionEdges:    frep.InjectionEdges,
+				ViolationEdges:    frep.ViolationEdges,
+				CleanTerminals:    frep.CleanTerminals,
+				DegradedTerminals: frep.DegradedTerminals,
+				StalledTerminals:  frep.StalledTerminals,
+			}
+		}
 		if err != nil {
 			out.Error = err.Error()
-			if steps, ok := check.Witness(err); ok {
+			// A budget abort is not a violation: the attached schedule is
+			// just the DFS stack at the moment the budget tripped (and can
+			// run to hundreds of thousands of steps on divergent faulted
+			// spaces), so it is omitted from the report.
+			if steps, ok := check.Witness(err); ok && !errors.Is(err, check.ErrStateBudget) {
 				for _, st := range steps {
 					out.Witness = append(out.Witness, st.String())
 				}
@@ -208,10 +290,17 @@ func run() error {
 	}
 
 	if err == nil {
-		fmt.Printf("OK: every schedule verified.\n")
+		if plan.Active() {
+			fmt.Printf("OK: every schedule and every injection point verified.\n")
+		} else {
+			fmt.Printf("OK: every schedule verified.\n")
+		}
 		fmt.Printf("states explored:  %d\n", rep.StatesVisited)
 		fmt.Printf("terminal states:  %d\n", rep.TerminalStates)
 		fmt.Printf("max depth:        %d events\n", rep.MaxDepth)
+		if plan.Active() {
+			printFaultCensus(frep)
+		}
 		if rep.TerminalStates == 1 {
 			fmt.Println("the instance is confluent: one terminal state across all schedules.")
 		}
@@ -220,7 +309,13 @@ func run() error {
 
 	if errors.Is(err, check.ErrStateBudget) {
 		fmt.Printf("state budget exhausted after %d states visited.\n", rep.StatesVisited)
-		fmt.Printf("the instance is larger than -max-states=%d allows; raise the flag to keep going.\n", *maxStates)
+		if plan.Active() {
+			printFaultCensus(frep)
+			fmt.Println("the faulted space may be infinite (dup, spurious, and restart add pulses);")
+			fmt.Println("the census above covers the canonical bounded prefix. Raise -max-states to widen it.")
+		} else {
+			fmt.Printf("the instance is larger than -max-states allows; raise the flag to keep going.\n")
+		}
 		os.Exit(1)
 	}
 
@@ -232,6 +327,14 @@ func run() error {
 	fmt.Printf("witness schedule (%d steps):\n", len(steps))
 	for i, st := range steps {
 		fmt.Printf("  %3d. %s\n", i+1, st)
+	}
+	for _, st := range steps {
+		if st.Fault != 0 {
+			// The simulator replays scheduler steps only; a faulted witness
+			// documents the failing injection but cannot be re-executed.
+			fmt.Println("\nwitness contains fault injections; replay is not available.")
+			os.Exit(1)
+		}
 	}
 	fmt.Println("\nreplaying the witness with a trace attached:")
 	rec := &trace.Recorder{}
@@ -259,6 +362,14 @@ func run() error {
 	}
 	os.Exit(1)
 	return nil
+}
+
+// printFaultCensus renders the fault-aware counters of a report.
+func printFaultCensus(frep check.FaultReport) {
+	fmt.Printf("injection edges:  %d\n", frep.InjectionEdges)
+	fmt.Printf("violation edges:  %d (faulted paths that tripped a step invariant)\n", frep.ViolationEdges)
+	fmt.Printf("faulted terminals: %d clean / %d degraded / %d stalled\n",
+		frep.CleanTerminals, frep.DegradedTerminals, frep.StalledTerminals)
 }
 
 func parseIDs(s string) ([]uint64, error) {

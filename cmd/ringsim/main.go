@@ -55,6 +55,8 @@ func run() error {
 	faults := flag.String("faults", "", "enable seeded fault injection: 'all' or a comma list of loss,dup,spurious,crash,restart,corrupt")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule (default: -seed)")
 	faultBudget := flag.Int("fault-budget", 1, "number of injections to schedule (with -faults)")
+	faultTrigger := flag.String("fault-trigger", "local", "trigger mode for -faults: local (per-entity event ordinals) | window (ring-wide delivery ordinals)")
+	heal := flag.String("heal", "", "with -live -faults: supervise crashes and revive nodes (checkpoint | init)")
 	shards := flag.Int("shards", 0, "run the sharded parallel engine with this many ring arcs (0 = sequential scale engine with -flat/-batch, else classic modes)")
 	flat := flag.Bool("flat", false, "use the struct-of-arrays machine bank (scale mode)")
 	batch := flag.Bool("batch", false, "coalesce pulse runs into O(1) batch transitions (scale mode; best with -sched heaviest)")
@@ -80,8 +82,23 @@ func run() error {
 		if fseed == 0 {
 			fseed = *seed
 		}
+		var trig fault.TriggerMode
+		switch *faultTrigger {
+		case "local":
+			trig = fault.TriggerLocal
+		case "window":
+			trig = fault.TriggerWindow
+		default:
+			return fmt.Errorf("unknown -fault-trigger %q (want local or window)", *faultTrigger)
+		}
+		if *heal != "" && !*liveRun {
+			return fmt.Errorf("-heal requires -live (the simulator has no goroutines to supervise)")
+		}
 		return runFaulted(*algo, *idsFlag, *flipsFlag, *sched, *seed,
-			*faults, fseed, *faultBudget, *liveRun)
+			*faults, fseed, *faultBudget, trig, *liveRun, *heal)
+	}
+	if *heal != "" {
+		return fmt.Errorf("-heal requires -faults (there is nothing to crash without a fault plane)")
 	}
 
 	opts := []coleader.Option{
@@ -228,7 +245,8 @@ func buildRing(algo, idsFlag string, flips []bool) (ring.Topology, []node.PulseM
 // the command still exits 0. Simulator runs are fully deterministic in
 // (-seed, -fault-seed, -faults, -fault-budget); -live runs are not.
 func runFaulted(algo, idsFlag, flipsFlag, schedName string, seed int64,
-	faultSpec string, faultSeed int64, budget int, liveRun bool) error {
+	faultSpec string, faultSeed int64, budget int, trig fault.TriggerMode,
+	liveRun bool, heal string) error {
 	classes, err := fault.ParseSet(faultSpec)
 	if err != nil {
 		return err
@@ -247,12 +265,17 @@ func runFaulted(algo, idsFlag, flipsFlag, schedName string, seed int64,
 		Nodes:   topo.N(),
 		Classes: classes,
 		Budget:  budget,
+		Trigger: trig,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("fault plane: classes=%s budget=%d seed=%d\n", classes, budget, faultSeed)
+	trigName := "local"
+	if trig == fault.TriggerWindow {
+		trigName = "window"
+	}
+	fmt.Printf("fault plane: classes=%s budget=%d seed=%d trigger=%s\n", classes, budget, faultSeed, trigName)
 	var (
 		sent, sentCW, sentCCW uint64
 		leader                int
@@ -260,9 +283,25 @@ func runFaulted(algo, idsFlag, flipsFlag, schedName string, seed int64,
 		runErr                error
 	)
 	if liveRun {
-		res, err := live.Run(topo, ms, live.WithFaultPlane(plane))
+		opts := []live.Option{live.WithFaultPlane(plane)}
+		switch heal {
+		case "":
+		case "checkpoint":
+			opts = append(opts, live.WithSupervisor(live.RestoreCheckpoint))
+		case "init":
+			opts = append(opts, live.WithSupervisor(live.RestoreInit))
+		default:
+			return fmt.Errorf("unknown -heal policy %q (want checkpoint or init)", heal)
+		}
+		res, err := live.Run(topo, ms, opts...)
 		sent, sentCW, sentCCW = res.Sent, res.SentCW, res.SentCCW
 		leader, quiescent, runErr = res.Leader, res.Quiescent, err
+		if len(res.Heals) > 0 {
+			fmt.Printf("supervisor heals: %v\n", res.Heals)
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("note [%s]: %s\n", note.Code, note.Detail)
+		}
 	} else {
 		sched, ok := sim.Stock(seed)[schedName]
 		if !ok {

@@ -125,6 +125,37 @@ func (f *File) Record(e Entry) {
 	f.Entries = append(f.Entries, e)
 }
 
+// Merge folds a labeled run into f by benchmark name: results replace
+// the existing entry's same-name results in place and append otherwise,
+// so a partial run (one new benchmark) extends a committed entry instead
+// of erasing the rest of it. The existing note is kept unless e carries
+// one. Without a matching entry, Merge is Record.
+func (f *File) Merge(e Entry) {
+	for i := range f.Entries {
+		if f.Entries[i].Label != e.Label {
+			continue
+		}
+		for _, r := range e.Results {
+			replaced := false
+			for j := range f.Entries[i].Results {
+				if f.Entries[i].Results[j].Name == r.Name {
+					f.Entries[i].Results[j] = r
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				f.Entries[i].Results = append(f.Entries[i].Results, r)
+			}
+		}
+		if e.Note != "" {
+			f.Entries[i].Note = e.Note
+		}
+		return
+	}
+	f.Entries = append(f.Entries, e)
+}
+
 // Find returns the entry with the given label.
 func (f *File) Find(label string) (Entry, bool) {
 	for _, e := range f.Entries {

@@ -178,3 +178,33 @@ func TestRegressionsEdgeCases(t *testing.T) {
 		t.Errorf("vanished metric flagged as regression: %q", got)
 	}
 }
+
+func TestMergeFoldsByName(t *testing.T) {
+	var f File
+	f.Record(Entry{Label: "post", Note: "full run", Results: []Result{
+		{Name: "A", Iterations: 1},
+		{Name: "B", Iterations: 1},
+	}})
+	f.Merge(Entry{Label: "post", Results: []Result{
+		{Name: "B", Iterations: 2},
+		{Name: "C", Iterations: 2},
+	}})
+	post, ok := f.Find("post")
+	if !ok || len(post.Results) != 3 {
+		t.Fatalf("post results = %+v, want A,B,C", post.Results)
+	}
+	if post.Results[0].Iterations != 1 || post.Results[1].Iterations != 2 || post.Results[2].Name != "C" {
+		t.Fatalf("merge did not replace by name / append: %+v", post.Results)
+	}
+	if post.Note != "full run" {
+		t.Fatalf("merge with empty note clobbered %q", post.Note)
+	}
+	f.Merge(Entry{Label: "post", Note: "amended", Results: nil})
+	if post, _ = f.Find("post"); post.Note != "amended" {
+		t.Fatalf("non-empty note not applied: %q", post.Note)
+	}
+	f.Merge(Entry{Label: "fresh", Results: []Result{{Name: "D", Iterations: 4}}})
+	if len(f.Entries) != 2 || f.Entries[1].Label != "fresh" {
+		t.Fatalf("merge without a matching label should append: %+v", f.Entries)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 
+	"coleader/internal/fault"
 	"coleader/internal/node"
 	"coleader/internal/pulse"
 	"coleader/internal/ring"
@@ -112,6 +113,10 @@ type Config struct {
 	// Engine selects the state-restoration strategy; the zero value is
 	// EngineUndo.
 	Engine Engine
+
+	// plan is the normalized fault plan of an ExhaustiveFaults run; the
+	// zero value (all Exhaustive runs) disables the fault plane entirely.
+	plan fault.Plan
 }
 
 // Report summarizes a completed exploration.
@@ -172,33 +177,53 @@ func appendStateKey(b []byte, st *state) []byte {
 	if len(st.inited)&7 != 0 {
 		b = append(b, w)
 	}
+	if st.fx != nil {
+		b = appendFaultKey(b, st.fx, st.sent)
+	}
 	return b
 }
 
 // Exhaustive explores every schedule and returns statistics, or the first
 // error found together with its witness schedule.
 func Exhaustive(cfg Config) (Report, error) {
+	cfg.plan = fault.Plan{}
+	rep, err := exhaustive(cfg)
+	return rep.Report, err
+}
+
+// exhaustive validates the configuration and dispatches to an engine; both
+// the faultless and the fault-aware entry points land here.
+func exhaustive(cfg Config) (FaultReport, error) {
 	if cfg.Topo.N() == 0 {
-		return Report{}, errors.New("check: empty topology")
+		return FaultReport{}, errors.New("check: empty topology")
 	}
 	if cfg.NewMachines == nil {
-		return Report{}, errors.New("check: nil NewMachines")
+		return FaultReport{}, errors.New("check: nil NewMachines")
 	}
 	if cfg.MaxStates < 0 {
-		return Report{}, fmt.Errorf("check: negative MaxStates %d", cfg.MaxStates)
+		return FaultReport{}, fmt.Errorf("check: negative MaxStates %d", cfg.MaxStates)
 	}
 	if cfg.MaxStates == 0 {
-		cfg.MaxStates = 1 << 22
+		// Fault plans can make the state space infinite (e.g. a duplicated
+		// pulse under Algorithm 1 circulates forever), and exploration
+		// recursion depth is bounded only by MaxStates on such instances —
+		// the lower fault-mode default keeps a divergent run returning
+		// ErrStateBudget instead of exhausting the stack.
+		if cfg.plan.Active() {
+			cfg.MaxStates = 1 << 20
+		} else {
+			cfg.MaxStates = 1 << 22
+		}
 	}
 	if cfg.Engine > EngineClone {
-		return Report{}, fmt.Errorf("check: unknown engine %d", cfg.Engine)
+		return FaultReport{}, fmt.Errorf("check: unknown engine %d", cfg.Engine)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
 	if cfg.Workers > 1 {
 		if cfg.Engine == EngineClone {
-			return Report{}, errors.New("check: the clone engine is sequential-only (set Workers to 1)")
+			return FaultReport{}, errors.New("check: the clone engine is sequential-only (set Workers to 1)")
 		}
 		return runParallel(cfg)
 	}
@@ -207,14 +232,14 @@ func Exhaustive(cfg Config) (Report, error) {
 
 // runSequential builds the root state and runs the selected single-core
 // engine over it.
-func runSequential(cfg Config) (Report, error) {
+func runSequential(cfg Config) (FaultReport, error) {
 	root, prefix, err := buildRoot(cfg)
 	if err != nil {
-		return Report{}, err
+		return FaultReport{}, err
 	}
 	memo, err := newMemo(cfg.Memo)
 	if err != nil {
-		return Report{}, err
+		return FaultReport{}, err
 	}
 	if cfg.Engine == EngineClone {
 		ex := &cloneExplorer{cfg: cfg, memo: memo, steps: prefix}
@@ -251,6 +276,13 @@ func buildRoot(cfg Config) (*state, []Step, error) {
 		}
 		st.ms[k] = c
 	}
+	if cfg.plan.Active() {
+		fx, err := newFaultX(cfg.plan, st.ms)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.fx = fx
+	}
 	var steps []Step
 	if !cfg.ExploreInits {
 		for k := 0; k < n; k++ {
@@ -272,12 +304,14 @@ func wrapWitness(err error, steps []Step) error {
 }
 
 // state is one global configuration: machine states plus per-channel queue
-// depths (pulses are indistinguishable, so depths suffice).
+// depths (pulses are indistinguishable, so depths suffice). fx is the
+// fault plane of an ExhaustiveFaults run; nil otherwise.
 type state struct {
 	ms     []node.Cloneable[pulse.Pulse]
 	queues []uint32 // channel id = 2*node + port
 	inited []bool
 	sent   uint64
+	fx     *faultX
 }
 
 func (st *state) clone() *state {
@@ -286,6 +320,7 @@ func (st *state) clone() *state {
 		queues: append([]uint32(nil), st.queues...),
 		inited: append([]bool(nil), st.inited...),
 		sent:   st.sent,
+		fx:     st.fx.clone(),
 	}
 	for i, m := range st.ms {
 		cp.ms[i] = m.CloneMachine().(node.Cloneable[pulse.Pulse])
@@ -313,6 +348,9 @@ func (c *collector) Send(p pulse.Port, _ pulse.Pulse) {
 	ch := 2*to.Node + int(to.Port)
 	c.st.queues[ch]++
 	c.st.sent++
+	if fx := c.st.fx; fx != nil && fx.windowed {
+		fx.sendCnt[ch]++
+	}
 	if c.log != nil {
 		*c.log = append(*c.log, int32(ch))
 	}
@@ -320,6 +358,9 @@ func (c *collector) Send(p pulse.Port, _ pulse.Pulse) {
 
 func (st *state) initNode(topo ring.Topology, k int) error {
 	st.inited[k] = true
+	if fx := st.fx; fx != nil && fx.windowed {
+		fx.handlerCnt[k]++
+	}
 	col := &collector{topo: topo, st: st, from: k}
 	st.ms[k].Init(col)
 	if col.err != nil {
@@ -331,6 +372,10 @@ func (st *state) initNode(topo ring.Topology, k int) error {
 func (st *state) deliver(topo ring.Topology, c int) error {
 	k, p := c/2, pulse.Port(c%2)
 	st.queues[c]--
+	if fx := st.fx; fx != nil && fx.windowed {
+		fx.delivCnt[c]++
+		fx.handlerCnt[k]++
+	}
 	col := &collector{topo: topo, st: st, from: k}
 	st.ms[k].OnMsg(p, pulse.Pulse{}, col)
 	if col.err != nil {
@@ -343,6 +388,9 @@ func (st *state) deliver(topo ring.Topology, c int) error {
 // clone engine's branches and the parallel explorer's spawned subtree
 // roots, both of which own a private copy of the state.
 func (st *state) apply(topo ring.Topology, s Step) error {
+	if s.Fault != 0 {
+		return st.applyFault(topo, s)
+	}
 	if s.Init >= 0 {
 		return st.initNode(topo, s.Init)
 	}
@@ -363,6 +411,8 @@ func (st *state) afterHandler(k int) error {
 // choices enumerates the schedulable events of st: inits in ascending
 // node order, then deliveries in ascending channel order — the canonical
 // schedule order that witnesses and "first error" are defined against.
+// Crashed nodes consume nothing, so deliveries toward them are excluded
+// (their pulses stay queued, undeliverable until a Restart revives them).
 func (st *state) choices() (inits []int, delivers []int) {
 	for k, in := range st.inited {
 		if !in {
@@ -375,6 +425,9 @@ func (st *state) choices() (inits []int, delivers []int) {
 		}
 		k := c / 2
 		if !st.inited[k] {
+			continue
+		}
+		if st.fx != nil && st.fx.crashed[k] {
 			continue
 		}
 		s := st.ms[k].Status()
@@ -394,7 +447,7 @@ func (st *state) choices() (inits []int, delivers []int) {
 type cloneExplorer struct {
 	cfg    Config
 	memo   memoTable
-	rep    Report
+	rep    FaultReport
 	steps  []Step // schedule from the root to the current state
 	keyBuf []byte // reusable buffer for state-key encoding
 }
@@ -419,56 +472,87 @@ func (ex *cloneExplorer) dfs(st *state, depth int) error {
 	inits, delivers := st.choices()
 	if len(inits) == 0 && len(delivers) == 0 {
 		ex.rep.TerminalStates++
-		var queued uint32
-		for _, q := range st.queues {
-			queued += q
+		out, verr := terminalOutcomeOf(st, ex.cfg.Check)
+		if st.fx.faulted() {
+			ex.rep.countTerminal(out)
+		} else if verr != nil {
+			return wrapWitness(verr, ex.steps)
 		}
-		if queued > 0 {
-			return wrapWitness(fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued), ex.steps)
-		}
-		if ex.cfg.Check != nil {
-			f := Final{Sent: st.sent, Quiescent: true}
-			for k, m := range st.ms {
-				s := m.Status()
-				f.Statuses = append(f.Statuses, s)
-				if s.State == node.StateLeader {
-					f.Leaders = append(f.Leaders, k)
-				}
-			}
-			if err := ex.cfg.Check(f); err != nil {
-				return wrapWitness(fmt.Errorf("%w: %v", ErrViolation, err), ex.steps)
-			}
-		}
-		return nil
 	}
 
 	for _, k := range inits {
-		next := st.clone()
-		ex.steps = append(ex.steps, Step{Init: k, Chan: -1})
-		err := next.initNode(ex.cfg.Topo, k)
-		if err == nil {
-			err = ex.dfs(next, depth+1)
-		} else {
-			err = wrapWitness(err, ex.steps)
-		}
-		ex.steps = ex.steps[:len(ex.steps)-1]
-		if err != nil {
+		if err := ex.branch(st, depth, Step{Init: k, Chan: -1}); err != nil {
 			return err
 		}
 	}
 	for _, c := range delivers {
-		next := st.clone()
-		ex.steps = append(ex.steps, Step{Init: -1, Chan: c})
-		err := next.deliver(ex.cfg.Topo, c)
-		if err == nil {
-			err = ex.dfs(next, depth+1)
-		} else {
-			err = wrapWitness(err, ex.steps)
-		}
-		ex.steps = ex.steps[:len(ex.steps)-1]
-		if err != nil {
+		if err := ex.branch(st, depth, Step{Init: -1, Chan: c}); err != nil {
 			return err
 		}
 	}
+	if fx := st.fx; fx != nil && len(fx.log) < fx.plan.Budget {
+		for _, v := range appendFaultChoices(st, nil) {
+			ex.rep.InjectionEdges++
+			if err := ex.branch(st, depth, decodeChoice(len(st.ms), v)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// branch clones st, applies one step on the copy, and recurses. A step
+// whose handler violates on an already-faulted path is a pruned outcome
+// (ViolationEdges), not a failure.
+func (ex *cloneExplorer) branch(st *state, depth int, step Step) error {
+	next := st.clone()
+	ex.steps = append(ex.steps, step)
+	defer func() { ex.steps = ex.steps[:len(ex.steps)-1] }()
+	if err := next.apply(ex.cfg.Topo, step); err != nil {
+		if errors.Is(err, ErrViolation) && next.fx.faulted() {
+			ex.rep.ViolationEdges++
+			return nil
+		}
+		return wrapWitness(err, ex.steps)
+	}
+	return ex.dfs(next, depth+1)
+}
+
+// countTerminal records the classification of one faulted terminal state.
+func (rep *FaultReport) countTerminal(out int) {
+	switch out {
+	case terminalClean:
+		rep.CleanTerminals++
+	case terminalDegraded:
+		rep.DegradedTerminals++
+	case terminalStalled:
+		rep.StalledTerminals++
+	}
+}
+
+// terminalOutcomeOf classifies a choice-free state, allocating its Final
+// slices: the clone engine's counterpart of stepper.terminalOutcome.
+func terminalOutcomeOf(st *state, check func(Final) error) (int, error) {
+	var queued uint32
+	for _, q := range st.queues {
+		queued += q
+	}
+	if queued > 0 {
+		return terminalStalled, fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued)
+	}
+	if check == nil {
+		return terminalClean, nil
+	}
+	f := Final{Sent: st.sent, Quiescent: true}
+	for k, m := range st.ms {
+		s := m.Status()
+		f.Statuses = append(f.Statuses, s)
+		if s.State == node.StateLeader {
+			f.Leaders = append(f.Leaders, k)
+		}
+	}
+	if err := check(f); err != nil {
+		return terminalDegraded, fmt.Errorf("%w: %v", ErrViolation, err)
+	}
+	return terminalClean, nil
 }

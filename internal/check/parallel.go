@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -38,6 +39,16 @@ type parExplorer struct {
 	maxDepth  atomic.Int64
 	failed    atomic.Bool
 
+	// Fault-mode outcome counters; always zero in faultless runs. Like the
+	// base counters they are exact: each state is expanded exactly once
+	// (the memo folds the fault plane into the key), and every counter is
+	// a function of the expanded state.
+	injEdges  atomic.Int64
+	violEdges atomic.Int64
+	cleanT    atomic.Int64
+	degradedT atomic.Int64
+	stalledT  atomic.Int64
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	queue       []parTask // LIFO: deep tasks first keeps the frontier small
@@ -48,14 +59,14 @@ type parExplorer struct {
 
 // runParallel explores with cfg.Workers goroutines. See the determinism
 // contract above for why it may fall back to runSequential.
-func runParallel(cfg Config) (Report, error) {
+func runParallel(cfg Config) (FaultReport, error) {
 	root, _, err := buildRoot(cfg)
 	if err != nil {
-		return Report{}, err
+		return FaultReport{}, err
 	}
 	memo, err := newShardedMemo(cfg.Memo)
 	if err != nil {
-		return Report{}, err
+		return FaultReport{}, err
 	}
 	p := &parExplorer{cfg: cfg, memo: memo}
 	p.cond = sync.NewCond(&p.mu)
@@ -74,10 +85,17 @@ func runParallel(cfg Config) (Report, error) {
 	if p.failed.Load() {
 		return runSequential(cfg)
 	}
-	return Report{
-		StatesVisited:  int(p.states.Load()),
-		TerminalStates: int(p.terminals.Load()),
-		MaxDepth:       int(p.maxDepth.Load()),
+	return FaultReport{
+		Report: Report{
+			StatesVisited:  int(p.states.Load()),
+			TerminalStates: int(p.terminals.Load()),
+			MaxDepth:       int(p.maxDepth.Load()),
+		},
+		InjectionEdges:    int(p.injEdges.Load()),
+		ViolationEdges:    int(p.violEdges.Load()),
+		CleanTerminals:    int(p.cleanT.Load()),
+		DegradedTerminals: int(p.degradedT.Load()),
+		StalledTerminals:  int(p.stalledT.Load()),
 	}, nil
 }
 
@@ -124,18 +142,39 @@ func (p *parExplorer) dfs(sp *stepper, depth int) {
 	base, end := sp.pushChoices()
 	if base == end {
 		p.terminals.Add(1)
-		if err := sp.terminalVerdict(p.cfg.Check); err != nil {
+		out, verr := sp.terminalOutcome(p.cfg.Check)
+		if sp.st.fx.faulted() {
+			switch out {
+			case terminalClean:
+				p.cleanT.Add(1)
+			case terminalDegraded:
+				p.degradedT.Add(1)
+			case terminalStalled:
+				p.stalledT.Add(1)
+			}
+		} else if verr != nil {
 			p.fail()
+			return
 		}
-		return
 	}
-	for i := base; i < end; i++ {
+	fend := end
+	if fx := sp.st.fx; fx != nil && len(fx.log) < fx.plan.Budget {
+		fend = sp.pushFaultChoices()
+	}
+	for i := base; i < fend; i++ {
 		step := sp.stepAt(i)
+		if step.Fault != 0 {
+			p.injEdges.Add(1)
+		}
 		if p.starving() {
 			// Peel this branch off as a shareable task instead of
 			// recursing: clone the state and apply the step on the copy.
 			succ := sp.st.clone()
 			if err := succ.apply(p.cfg.Topo, step); err != nil {
+				if errors.Is(err, ErrViolation) && succ.fx.faulted() {
+					p.violEdges.Add(1)
+					continue
+				}
 				p.fail()
 				return
 			}
@@ -144,6 +183,11 @@ func (p *parExplorer) dfs(sp *stepper, depth int) {
 		}
 		fr, err := sp.apply(step)
 		if err != nil {
+			if errors.Is(err, ErrViolation) && sp.st.fx.faulted() {
+				p.violEdges.Add(1)
+				sp.revert(fr)
+				continue
+			}
 			p.fail()
 			return
 		}

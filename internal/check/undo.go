@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 
 	"coleader/internal/node"
@@ -19,13 +20,14 @@ type stepper struct {
 	n    int
 	st   *state
 
-	keyBuf      []byte
-	snapArena   []byte  // machine snapshots, stacked per applied step
-	sendArena   []int32 // channel ids incremented, stacked per applied step
-	choiceArena []int32 // schedulable events, stacked per visited state
-	col         collector
-	statuses    []node.Status
-	leaders     []int
+	keyBuf       []byte
+	snapArena    []byte  // machine snapshots, stacked per applied step
+	sendArena    []int32 // channel ids incremented, stacked per applied step
+	choiceArena  []int32 // schedulable events, stacked per visited state
+	faultScratch []byte  // corrupt-mask staging buffer (fault mode)
+	col          collector
+	statuses     []node.Status
+	leaders      []int
 }
 
 // undoFrame records what one apply changed, so revert can put it back.
@@ -37,6 +39,10 @@ type undoFrame struct {
 	// clone is the pre-step machine copy when the machine does not
 	// implement node.Undoable (the fallback path); nil otherwise.
 	clone node.Cloneable[pulse.Pulse]
+	// fault marks the frame as a fault injection (mach/deliverCh then
+	// name the target); wasCrashed preserves a Restart victim's flag.
+	fault      faultClass
+	wasCrashed bool
 }
 
 // reset points the stepper at a new state and discards all stacked scratch
@@ -57,10 +63,15 @@ func (sp *stepper) key() []byte {
 
 // apply executes one step in place, first snapshotting the one machine it
 // runs (node.Undoable) or deep-copying it (fallback), and logging every
-// channel the handler increments. The returned frame reverts the step.
-// On error the state is left as the handler left it — fine, because every
-// error aborts the exploration.
+// channel the handler increments. The returned frame reverts the step —
+// including after a failed apply: the snapshot precedes the handler and
+// every queue change is logged, and Undoable.Restore clears any error the
+// handler left, so revert restores the pre-step state exactly (fault mode
+// prunes violating edges instead of aborting).
 func (sp *stepper) apply(s Step) (undoFrame, error) {
+	if s.Fault != 0 {
+		return sp.applyFault(s)
+	}
 	k := s.Init
 	ch := int32(-1)
 	if k < 0 {
@@ -79,6 +90,12 @@ func (sp *stepper) apply(s Step) (undoFrame, error) {
 	} else {
 		fr.clone = m.CloneMachine().(node.Cloneable[pulse.Pulse])
 	}
+	if fx := sp.st.fx; fx != nil && fx.windowed {
+		fx.handlerCnt[k]++
+		if ch >= 0 {
+			fx.delivCnt[ch]++
+		}
+	}
 	sp.col = collector{topo: sp.topo, st: sp.st, from: k, log: &sp.sendArena}
 	if ch < 0 {
 		sp.st.inited[k] = true
@@ -93,13 +110,21 @@ func (sp *stepper) apply(s Step) (undoFrame, error) {
 	return fr, sp.st.afterHandler(k)
 }
 
-// revert undoes a successful apply: queue increments come back off the
-// send log, the consumed pulse (or init bit) is restored, and the machine
+// revert undoes an applied step: queue increments come back off the send
+// log, the consumed pulse (or init bit) is restored, and the machine
 // rewinds from its snapshot (or swaps back to the pre-step clone).
 func (sp *stepper) revert(fr undoFrame) {
+	if fr.fault != 0 {
+		sp.revertFault(fr)
+		return
+	}
+	fx := sp.st.fx
 	for _, ch := range sp.sendArena[fr.sendOff:] {
 		sp.st.queues[ch]--
 		sp.st.sent--
+		if fx != nil && fx.windowed {
+			fx.sendCnt[ch]--
+		}
 	}
 	sp.sendArena = sp.sendArena[:fr.sendOff]
 	k := int(fr.mach)
@@ -107,6 +132,12 @@ func (sp *stepper) revert(fr undoFrame) {
 		sp.st.queues[fr.deliverCh]++
 	} else {
 		sp.st.inited[k] = false
+	}
+	if fx != nil && fx.windowed {
+		fx.handlerCnt[k]--
+		if fr.deliverCh >= 0 {
+			fx.delivCnt[fr.deliverCh]--
+		}
 	}
 	if fr.clone != nil {
 		sp.st.ms[k] = fr.clone
@@ -136,6 +167,9 @@ func (sp *stepper) pushChoices() (base, end int) {
 		if !sp.st.inited[k] {
 			continue
 		}
+		if sp.st.fx != nil && sp.st.fx.crashed[k] {
+			continue
+		}
 		s := sp.st.ms[k].Status()
 		if s.Terminated || !sp.st.ms[k].Ready(pulse.Port(c%2)) {
 			continue
@@ -145,30 +179,37 @@ func (sp *stepper) pushChoices() (base, end int) {
 	return base, len(sp.choiceArena)
 }
 
-// stepAt decodes choice-arena entry i (init k -> k, deliver c -> n+c).
+// stepAt decodes choice-arena entry i (init k -> k, deliver c -> n+c,
+// fault branches by their flagged encoding).
 func (sp *stepper) stepAt(i int) Step {
-	v := int(sp.choiceArena[i])
-	if v < sp.n {
-		return Step{Init: v, Chan: -1}
-	}
-	return Step{Init: -1, Chan: v - sp.n}
+	return decodeChoice(sp.n, sp.choiceArena[i])
 }
 
 func (sp *stepper) popChoices(base int) { sp.choiceArena = sp.choiceArena[:base] }
 
-// terminalVerdict evaluates a choice-free state: ErrStalled if pulses
-// remain queued, otherwise the Check callback's verdict on the final
-// configuration. The Final slices are the stepper's reusable scratch.
-func (sp *stepper) terminalVerdict(check func(Final) error) error {
+// Terminal outcomes of a choice-free state: quiescent with Check passing,
+// quiescent with Check failing, or stalled with undeliverable pulses. On a
+// clean (never-injected) path the latter two abort the exploration; on a
+// faulted path they are counted outcomes.
+const (
+	terminalClean = iota
+	terminalDegraded
+	terminalStalled
+)
+
+// terminalOutcome classifies a choice-free state and returns the verdict
+// error a clean path would abort with (nil for terminalClean). The Final
+// slices are the stepper's reusable scratch.
+func (sp *stepper) terminalOutcome(check func(Final) error) (int, error) {
 	var queued uint32
 	for _, q := range sp.st.queues {
 		queued += q
 	}
 	if queued > 0 {
-		return fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued)
+		return terminalStalled, fmt.Errorf("%w: %d pulses undeliverable", ErrStalled, queued)
 	}
 	if check == nil {
-		return nil
+		return terminalClean, nil
 	}
 	f := Final{Sent: sp.st.sent, Quiescent: true}
 	sp.statuses = sp.statuses[:0]
@@ -183,9 +224,9 @@ func (sp *stepper) terminalVerdict(check func(Final) error) error {
 	f.Statuses = sp.statuses
 	f.Leaders = sp.leaders
 	if err := check(f); err != nil {
-		return fmt.Errorf("%w: %v", ErrViolation, err)
+		return terminalDegraded, fmt.Errorf("%w: %v", ErrViolation, err)
 	}
-	return nil
+	return terminalClean, nil
 }
 
 // undoExplorer is the default sequential engine: depth-first over one
@@ -195,7 +236,7 @@ type undoExplorer struct {
 	stepper
 	cfg   Config
 	memo  memoTable
-	rep   Report
+	rep   FaultReport
 	steps []Step // schedule from the root to the current state
 }
 
@@ -219,17 +260,35 @@ func (ex *undoExplorer) dfs(depth int) error {
 	base, end := ex.pushChoices()
 	if base == end {
 		ex.rep.TerminalStates++
-		if err := ex.terminalVerdict(ex.cfg.Check); err != nil {
-			return wrapWitness(err, ex.steps)
+		out, verr := ex.terminalOutcome(ex.cfg.Check)
+		if ex.st.fx.faulted() {
+			ex.rep.countTerminal(out)
+		} else if verr != nil {
+			return wrapWitness(verr, ex.steps)
 		}
-		return nil
 	}
-	for i := base; i < end; i++ {
+	// Fault branches extend the same choice window: terminal states keep
+	// them too (a corrupt-at-quiescence injection is exactly the
+	// self-stabilization probe).
+	fend := end
+	if fx := ex.st.fx; fx != nil && len(fx.log) < fx.plan.Budget {
+		fend = ex.pushFaultChoices()
+	}
+	for i := base; i < fend; i++ {
 		step := ex.stepAt(i)
+		if step.Fault != 0 {
+			ex.rep.InjectionEdges++
+		}
 		ex.steps = append(ex.steps, step)
 		fr, err := ex.apply(step)
 		if err == nil {
 			err = ex.dfs(depth + 1)
+		} else if errors.Is(err, ErrViolation) && ex.st.fx.faulted() {
+			// An injection consequence: prune the edge, keep exploring.
+			ex.rep.ViolationEdges++
+			ex.steps = ex.steps[:len(ex.steps)-1]
+			ex.revert(fr)
+			continue
 		} else {
 			err = wrapWitness(err, ex.steps)
 		}

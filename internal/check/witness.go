@@ -4,21 +4,33 @@ import (
 	"errors"
 	"fmt"
 
+	"coleader/internal/fault"
 	"coleader/internal/pulse"
 	"coleader/internal/ring"
 	"coleader/internal/sim"
 )
 
-// Step is one scheduled event of a witness: either a node wake-up
-// (Init >= 0) or a delivery from channel Chan (Init < 0).
+// Step is one scheduled event of a witness: a node wake-up (Init >= 0), a
+// delivery from channel Chan (Init < 0), or — in fault-aware explorations
+// — an injection (Fault != 0, targeting the channel Chan for Loss, Dup,
+// and Spurious, the node Init otherwise; Mask is the Corrupt XOR mask).
 type Step struct {
-	Init int // node to initialize, or -1
-	Chan int // channel to deliver from when Init < 0
+	Init  int         // node to initialize (or fault target), or -1
+	Chan  int         // channel to deliver from (or fault target) when Init < 0
+	Fault fault.Class // injected fault class, or 0 for a scheduler step
+	Mask  byte        // corrupt mask when Fault is fault.Corrupt
 }
 
 // String renders the step.
 func (s Step) String() string {
-	if s.Init >= 0 {
+	switch {
+	case s.Fault == fault.Corrupt:
+		return fmt.Sprintf("inject corrupt node %d (mask %#02x)", s.Init, s.Mask)
+	case s.Fault != 0 && s.Chan >= 0:
+		return fmt.Sprintf("inject %v ch%d (node %d port %d)", s.Fault, s.Chan, s.Chan/2, s.Chan%2)
+	case s.Fault != 0:
+		return fmt.Sprintf("inject %v node %d", s.Fault, s.Init)
+	case s.Init >= 0:
 		return fmt.Sprintf("init %d", s.Init)
 	}
 	return fmt.Sprintf("deliver ch%d (node %d port %d)", s.Chan, s.Chan/2, s.Chan%2)
@@ -76,9 +88,15 @@ func Replay(cfg Config, steps []Step, obs ...sim.Observer[pulse.Pulse]) (sim.Res
 	}
 	for i, st := range steps {
 		var stepErr error
-		if st.Init >= 0 {
+		switch {
+		case st.Fault != 0:
+			// The simulator's fault plane replays sampled schedules, not
+			// arbitrary injections; faulted witnesses document, they do
+			// not replay.
+			stepErr = fmt.Errorf("fault step cannot be replayed")
+		case st.Init >= 0:
 			stepErr = s.InitNode(st.Init)
-		} else {
+		default:
 			stepErr = s.Deliver(st.Chan)
 		}
 		if stepErr != nil {

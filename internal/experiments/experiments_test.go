@@ -10,8 +10,8 @@ import (
 // TestRegistry checks the experiment registry is complete and consistent.
 func TestRegistry(t *testing.T) {
 	all := experiments.All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -37,7 +37,7 @@ func TestRegistry(t *testing.T) {
 // reproduce. (The slower experiments E1/E3/E6/E8 run in CI via
 // cmd/experiments; their logic is identical in shape.)
 func TestCheapExperimentsPass(t *testing.T) {
-	for _, id := range []string{"E2", "E4", "E5", "E7", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+	for _, id := range []string{"E2", "E4", "E5", "E7", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, ok := experiments.Find(id)

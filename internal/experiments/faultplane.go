@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"coleader/internal/check"
 	"coleader/internal/core"
 	"coleader/internal/fault"
 	"coleader/internal/node"
@@ -332,4 +333,223 @@ func lowMark(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// E17 turns the fault plane exhaustive: instead of sampling one injection
+// schedule (E14), check.ExhaustiveFaults branches over every schedule AND
+// every injection position of each fault class on small rings, with one
+// injection of budget per path.
+//
+// The census splits along a conservation line. Classes that cannot
+// increase the pulse population — loss, crash, corrupt — leave the
+// fault-aware state space FINITE: the explorer enumerates it completely,
+// so every reachable consequence of every possible injection is verified.
+// Classes that add a pulse — dup, spurious, restart — make the space
+// infinite (an extra pulse means n+1 pulses chasing n absorption slots,
+// so some relay counter grows without bound; an amnesiac restart re-sends
+// its init pulse and re-relays pulses it already counted, which is the
+// same surplus). Those cells are certified up to a state bound and must
+// abort with check.ErrStateBudget; a cell that completed OR a finite cell
+// that diverged would falsify the dichotomy and fails the experiment.
+//
+// The second table is the zero-budget differential that anchors the whole
+// fault engine to the paper: an inactive plan must reproduce the faultless
+// explorer's report exactly, i.e. the machinery added for injection
+// changes nothing about the Theorem 1 / Corollary 13 verification it
+// wraps.
+func E17(int64) ([]*stats.Table, error) {
+	census, err := e17Census()
+	if err != nil {
+		return nil, err
+	}
+	diff, err := e17ZeroBudget()
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{census, diff}, nil
+}
+
+// e17Bound caps divergent cells. Well past the depth where the surplus
+// pulse's circulation becomes periodic, and small enough that the whole
+// census is cheap.
+const e17Bound = 50000
+
+// e17IDs are the fixed rings of the census, one per size: permuted,
+// distinct, with ID_max = n so state counts stay comparable across cells.
+var e17IDs = map[int][]uint64{
+	3: {2, 3, 1},
+	4: {2, 4, 1, 3},
+	5: {3, 5, 1, 4, 2},
+}
+
+// e17Config builds the checker configuration for one oriented instance,
+// with the algorithm's paper guarantee as the terminal check (Corollary 13
+// for Alg1, Theorem 1 plus the unique max-ID leader for Alg2).
+func e17Config(algo string, ids []uint64) (check.Config, error) {
+	n := len(ids)
+	topo, err := ring.Oriented(n)
+	if err != nil {
+		return check.Config{}, err
+	}
+	idMax := ring.MaxID(ids)
+	maxIdx, uniqueMax := ring.MaxIndex(ids)
+	cfg := check.Config{Topo: topo}
+	switch algo {
+	case "alg1":
+		cfg.NewMachines = func() ([]node.PulseMachine, error) { return core.Alg1Machines(topo, ids) }
+		cfg.Check = func(f check.Final) error {
+			if want := core.PredictedAlg1Pulses(n, idMax); f.Sent != want {
+				return fmt.Errorf("sent %d, want %d", f.Sent, want)
+			}
+			return nil
+		}
+	case "alg2":
+		cfg.NewMachines = func() ([]node.PulseMachine, error) { return core.Alg2Machines(topo, ids) }
+		cfg.Check = func(f check.Final) error {
+			if want := core.PredictedAlg2Pulses(n, idMax); f.Sent != want {
+				return fmt.Errorf("sent %d, want %d", f.Sent, want)
+			}
+			if !uniqueMax || len(f.Leaders) != 1 || f.Leaders[0] != maxIdx {
+				return fmt.Errorf("leaders %v", f.Leaders)
+			}
+			return nil
+		}
+	default:
+		return check.Config{}, fmt.Errorf("e17: unknown algorithm %q", algo)
+	}
+	return cfg, nil
+}
+
+func e17Census() (*stats.Table, error) {
+	t := stats.NewTable(
+		"E17a — exhaustive fault verification (budget 1, every schedule x every injection position)",
+		"class", "algorithm", "n", "states", "injections", "viol. edges",
+		"clean", "degraded", "stalled", "space")
+	divergent := map[fault.Class]bool{
+		fault.Dup: true, fault.Spurious: true, fault.Restart: true,
+	}
+	type cell struct {
+		class fault.Class
+		algo  string
+		n     int
+	}
+	var cells []cell
+	for _, class := range []fault.Class{
+		fault.Loss, fault.Crash, fault.Corrupt, fault.Dup, fault.Spurious, fault.Restart,
+	} {
+		for _, algo := range []string{"alg1", "alg2"} {
+			for _, n := range []int{3, 4, 5} {
+				cells = append(cells, cell{class, algo, n})
+			}
+		}
+	}
+	type row struct {
+		rep     check.FaultReport
+		verdict string
+		err     error
+	}
+	rows := make([]row, len(cells))
+	parDo(len(cells), func(i int) {
+		c := cells[i]
+		cfg, err := e17Config(c.algo, e17IDs[c.n])
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		if divergent[c.class] {
+			cfg.MaxStates = e17Bound
+		}
+		rep, err := check.ExhaustiveFaults(cfg, fault.Plan{
+			Classes: fault.NewSet(c.class),
+			Budget:  1,
+		})
+		rows[i].rep = rep
+		switch {
+		case divergent[c.class] && errors.Is(err, check.ErrStateBudget):
+			rows[i].verdict = fmt.Sprintf("divergent — certified to %d states", e17Bound)
+		case divergent[c.class]:
+			rows[i].err = fmt.Errorf("E17a %v/%s n=%d: pulse-adding class did not diverge (err=%v)",
+				c.class, c.algo, c.n, err)
+		case err != nil:
+			rows[i].err = fmt.Errorf("E17a %v/%s n=%d: %w", c.class, c.algo, c.n, err)
+		case rep.InjectionEdges == 0:
+			rows[i].err = fmt.Errorf("E17a %v/%s n=%d: no injection position explored",
+				c.class, c.algo, c.n)
+		default:
+			rows[i].verdict = "finite — fully verified"
+		}
+	})
+	for i, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		c := cells[i]
+		t.AddRow(c.class.String(), c.algo, c.n, r.rep.StatesVisited,
+			r.rep.InjectionEdges, r.rep.ViolationEdges, r.rep.CleanTerminals,
+			r.rep.DegradedTerminals, r.rep.StalledTerminals, r.verdict)
+	}
+	return t, nil
+}
+
+func e17ZeroBudget() (*stats.Table, error) {
+	t := stats.NewTable(
+		"E17b — zero-budget differential: an inactive plan reproduces the faultless explorer exactly",
+		"algorithm", "n", "states", "terminal states", "report identical", "guarantee")
+	type cell struct {
+		algo string
+		n    int
+	}
+	var cells []cell
+	for _, algo := range []string{"alg1", "alg2"} {
+		for _, n := range []int{3, 4, 5} {
+			cells = append(cells, cell{algo, n})
+		}
+	}
+	type row struct {
+		base  check.Report
+		same  bool
+		claim string
+		err   error
+	}
+	rows := make([]row, len(cells))
+	parDo(len(cells), func(i int) {
+		c := cells[i]
+		cfg, err := e17Config(c.algo, e17IDs[c.n])
+		if err != nil {
+			rows[i].err = err
+			return
+		}
+		base, err := check.Exhaustive(cfg)
+		if err != nil {
+			rows[i].err = fmt.Errorf("E17b %s n=%d faultless: %w", c.algo, c.n, err)
+			return
+		}
+		frep, err := check.ExhaustiveFaults(cfg, fault.Plan{})
+		if err != nil {
+			rows[i].err = fmt.Errorf("E17b %s n=%d zero-budget: %w", c.algo, c.n, err)
+			return
+		}
+		rows[i].base = base
+		rows[i].same = frep.Report == base &&
+			frep.InjectionEdges == 0 && frep.ViolationEdges == 0 &&
+			frep.CleanTerminals == 0 && frep.DegradedTerminals == 0 &&
+			frep.StalledTerminals == 0
+		if c.algo == "alg1" {
+			rows[i].claim = "Corollary 13: n·ID_max pulses"
+		} else {
+			rows[i].claim = "Theorem 1: n(2·ID_max+1) pulses, max-ID leader"
+		}
+	})
+	for i, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !r.same {
+			return nil, fmt.Errorf("E17b %s n=%d: zero-budget report differs from faultless",
+				cells[i].algo, cells[i].n)
+		}
+		t.AddRow(cells[i].algo, cells[i].n, r.base.StatesVisited, r.base.TerminalStates,
+			boolMark(r.same), r.claim)
+	}
+	return t, nil
 }

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"coleader/internal/xrand"
 )
@@ -139,6 +140,30 @@ func ParseSet(spec string) (Set, error) {
 	return s, nil
 }
 
+// TriggerMode selects how an injection's Trigger ordinal is interpreted.
+type TriggerMode uint8
+
+const (
+	// TriggerLocal (the default): Trigger is the target entity's local
+	// event ordinal — "the t-th send on this channel", "node k's t-th
+	// handler". Purely per-entity, so the plane needs no shared state.
+	TriggerLocal TriggerMode = iota
+
+	// TriggerWindow: Trigger is a ring-wide delivery ordinal. The
+	// injection arms once the plane has observed Trigger deliveries in
+	// total (across every channel) and fires at the target entity's next
+	// local event. This expresses timing-dependent faults the per-entity
+	// counters cannot — "crash node k once the ring as a whole has made
+	// this much progress" — even when the target itself is idle until
+	// then. The global delivery counter is the plane's one piece of
+	// shared state and is atomic; on the live runtime the exact event at
+	// which a target first observes the open window is scheduler-
+	// dependent (whether it fires by the end of the run is monotone in
+	// the window), while on the simulator it is as deterministic as
+	// every other counter.
+	TriggerWindow
+)
+
 // PerturbMode selects how Corrupt injections mangle a snapshot.
 type PerturbMode uint8
 
@@ -169,6 +194,11 @@ type Config struct {
 	Horizon uint64
 	// Mode selects the Corrupt perturbation (default PerturbOutput).
 	Mode PerturbMode
+	// Trigger selects how Trigger ordinals are interpreted (default
+	// TriggerLocal). With TriggerWindow, each injection arms once the
+	// ring-wide delivery count reaches its Trigger and fires at the
+	// target's next local event.
+	Trigger TriggerMode
 }
 
 // Injection is one scheduled fault, doubling as its own log entry once the
@@ -181,9 +211,12 @@ type Injection struct {
 	// Chan is the target channel for Loss/Dup/Spurious, -1 for node
 	// classes.
 	Chan int
-	// Trigger is the target entity's local event ordinal that arms the
-	// injection (1-based).
+	// Trigger is the ordinal that arms the injection (1-based): the
+	// target entity's local event count under TriggerLocal, the
+	// ring-wide delivery count under TriggerWindow.
 	Trigger uint64
+	// Windowed records that Trigger is a TriggerWindow ordinal.
+	Windowed bool
 	// Step is the simulator step at which the injection fired (0 on the
 	// live runtime, whose events have no global order).
 	Step uint64
@@ -198,10 +231,16 @@ type Injection struct {
 // String renders one schedule/log line.
 func (in Injection) String() string {
 	var b strings.Builder
+	unit := "event"
+	if in.Windowed {
+		unit = "delivery-window"
+	} else if in.Chan < 0 {
+		unit = "handler"
+	}
 	if in.Chan >= 0 {
-		fmt.Fprintf(&b, "%s chan %d (node %d port %d) @event#%d", in.Class, in.Chan, in.Node, in.Chan&1, in.Trigger)
+		fmt.Fprintf(&b, "%s chan %d (node %d port %d) @%s#%d", in.Class, in.Chan, in.Node, in.Chan&1, unit, in.Trigger)
 	} else {
-		fmt.Fprintf(&b, "%s node %d @handler#%d", in.Class, in.Node, in.Trigger)
+		fmt.Fprintf(&b, "%s node %d @%s#%d", in.Class, in.Node, unit, in.Trigger)
 	}
 	switch {
 	case in.Skipped:
@@ -242,6 +281,12 @@ type Plane struct {
 	// lastNode tracks, per node, the most recently fired node injection
 	// so the runtime can mark it skipped (SkipLast).
 	lastNode []int
+
+	// globalDeliv counts deliveries ring-wide; only consulted under
+	// TriggerWindow. It is the plane's single cross-entity counter, so it
+	// is atomic rather than caller-owned (see the concurrency contract in
+	// the package comment).
+	globalDeliv atomic.Uint64
 }
 
 // streams for xrand.Split: the schedule draw and the perturb masks.
@@ -297,10 +342,71 @@ func New(seed int64, cfg Config) (*Plane, error) {
 			in.Node = rng.Intn(n)
 		}
 		in.Trigger = 1 + uint64(rng.Int63n(int64(cfg.Horizon)))
+		in.Windowed = cfg.Trigger == TriggerWindow
 		// Triggers must be unique within a counter domain so that at
 		// most one injection arms per event; collisions bump upward.
+		// (Under TriggerWindow at most the head of a pending list can
+		// fire per event regardless, but unique triggers keep the
+		// schedule shape identical across modes.)
 		for p.triggerTaken(in) {
 			in.Trigger++
+		}
+		p.log = append(p.log, in)
+	}
+	p.indexSchedule()
+	return p, nil
+}
+
+// Scripted builds a plane from an explicit injection schedule instead of
+// a seeded draw: each entry names its class, target, and trigger ordinal
+// directly. Deterministic fault tests (crash exactly this node at exactly
+// this handler) use it where New's sampled schedules would be awkward to
+// pin. Entries must satisfy the same invariants the sampler guarantees:
+// 1-based triggers, unique per counter domain and target.
+func Scripted(cfg Config, schedule []Injection) (*Plane, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("fault: %d nodes", cfg.Nodes)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 8
+	}
+	n := cfg.Nodes
+	p := &Plane{
+		cfg:          cfg,
+		sendPending:  make([][]int, 2*n),
+		delivPending: make([][]int, 2*n),
+		nodePending:  make([][]int, n),
+		sendCount:    make([]uint64, 2*n),
+		delivCount:   make([]uint64, 2*n),
+		nodeCount:    make([]uint64, n),
+		lastNode:     make([]int, n),
+	}
+	for k := range p.lastNode {
+		p.lastNode[k] = -1
+	}
+	for i, in := range schedule {
+		if in.Class < Loss || int(in.Class) > classCount {
+			return nil, fmt.Errorf("fault: scripted injection %d: unknown class %d", i, in.Class)
+		}
+		switch in.Class {
+		case Loss, Dup, Spurious:
+			if in.Chan < 0 || in.Chan >= 2*n {
+				return nil, fmt.Errorf("fault: scripted injection %d: channel %d out of range", i, in.Chan)
+			}
+			in.Node = in.Chan / 2
+		default:
+			if in.Node < 0 || in.Node >= n {
+				return nil, fmt.Errorf("fault: scripted injection %d: node %d out of range", i, in.Node)
+			}
+			in.Chan = -1
+		}
+		if in.Trigger == 0 {
+			return nil, fmt.Errorf("fault: scripted injection %d: triggers are 1-based", i)
+		}
+		in.Windowed = cfg.Trigger == TriggerWindow
+		in.Step, in.Fired, in.Skipped = 0, false, false
+		if p.triggerTaken(in) {
+			return nil, fmt.Errorf("fault: scripted injection %d: duplicate trigger %d in its domain", i, in.Trigger)
 		}
 		p.log = append(p.log, in)
 	}
@@ -360,11 +466,21 @@ func (p *Plane) indexSchedule() {
 	}
 }
 
-// fire pops the head of pending if its trigger matches count, records the
-// firing, and returns the class (0 otherwise).
+// fire pops the head of pending if it is armed at this event — its trigger
+// equals the entity's local count (TriggerLocal), or the ring-wide delivery
+// count has reached it (TriggerWindow) — records the firing, and returns
+// the class (0 otherwise).
 func (p *Plane) fire(pending *[]int, count, step uint64) (Class, int) {
 	list := *pending
-	if len(list) == 0 || p.log[list[0]].Trigger != count {
+	if len(list) == 0 {
+		return 0, -1
+	}
+	trig := p.log[list[0]].Trigger
+	if p.cfg.Trigger == TriggerWindow {
+		if trig > p.globalDeliv.Load() {
+			return 0, -1
+		}
+	} else if trig != count {
 		return 0, -1
 	}
 	i := list[0]
@@ -383,9 +499,13 @@ func (p *Plane) OnSend(step uint64, c int) Class {
 	return cl
 }
 
-// OnDeliver advances channel c's delivery counter and returns Spurious if a
-// pulse must be injected onto c around this delivery, else 0.
+// OnDeliver advances channel c's delivery counter (and, under
+// TriggerWindow, the ring-wide one) and returns Spurious if a pulse must
+// be injected onto c around this delivery, else 0.
 func (p *Plane) OnDeliver(step uint64, c int) Class {
+	if p.cfg.Trigger == TriggerWindow {
+		p.globalDeliv.Add(1)
+	}
 	p.delivCount[c]++
 	cl, _ := p.fire(&p.delivPending[c], p.delivCount[c], step)
 	return cl

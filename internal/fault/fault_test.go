@@ -286,3 +286,135 @@ func TestFormatLog(t *testing.T) {
 		t.Errorf("FormatLog output unexpected:\n%s", out)
 	}
 }
+
+// TestScriptedPlane: an explicit schedule fires exactly at the scripted
+// ordinals, with no RNG involved.
+func TestScriptedPlane(t *testing.T) {
+	p, err := fault.Scripted(fault.Config{Nodes: 3, Classes: fault.NewSet(fault.Crash, fault.Loss)},
+		[]fault.Injection{
+			{Class: fault.Crash, Node: 1, Trigger: 2},
+			{Class: fault.Loss, Chan: 4, Trigger: 3},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OnHandler(1, 1) != 0 {
+		t.Error("crash fired before its scripted trigger")
+	}
+	if got := p.OnHandler(2, 1); got != fault.Crash {
+		t.Errorf("handler 2 on node 1: %v, want crash", got)
+	}
+	for ev := uint64(1); ev <= 2; ev++ {
+		if p.OnSend(ev, 4) != 0 {
+			t.Errorf("loss fired at send %d, scripted for 3", ev)
+		}
+	}
+	if got := p.OnSend(3, 4); got != fault.Loss {
+		t.Errorf("send 3 on chan 4: %v, want loss", got)
+	}
+	if p.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", p.Fired())
+	}
+}
+
+// TestScriptedValidation covers every rejection path of Scripted.
+func TestScriptedValidation(t *testing.T) {
+	cfg := fault.Config{Nodes: 2, Classes: fault.AllClasses}
+	cases := []struct {
+		name string
+		ins  []fault.Injection
+	}{
+		{"unknown class", []fault.Injection{{Class: 99, Node: 0, Trigger: 1}}},
+		{"channel out of range", []fault.Injection{{Class: fault.Loss, Chan: 4, Trigger: 1}}},
+		{"node out of range", []fault.Injection{{Class: fault.Crash, Node: 2, Trigger: 1}}},
+		{"zero trigger", []fault.Injection{{Class: fault.Crash, Node: 0}}},
+		{"duplicate trigger", []fault.Injection{
+			{Class: fault.Crash, Node: 0, Trigger: 1},
+			{Class: fault.Restart, Node: 0, Trigger: 1},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := fault.Scripted(cfg, c.ins); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := fault.Scripted(fault.Config{Nodes: 0}, nil); err == nil {
+		t.Error("Nodes=0 accepted")
+	}
+}
+
+// TestWindowTriggerArming: under TriggerWindow an injection arms on the
+// ring-wide delivery count and fires at the target's NEXT local event —
+// never before the window opens, even if the target is busy.
+func TestWindowTriggerArming(t *testing.T) {
+	p, err := fault.Scripted(
+		fault.Config{Nodes: 3, Classes: fault.NewSet(fault.Crash), Trigger: fault.TriggerWindow},
+		[]fault.Injection{{Class: fault.Crash, Node: 0, Trigger: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The target is busy before the window opens: no firing.
+	for i := 0; i < 5; i++ {
+		if p.OnHandler(0, 0) != 0 {
+			t.Fatal("crash fired before the delivery window opened")
+		}
+	}
+	// Ring-wide deliveries on OTHER channels open the window.
+	p.OnDeliver(0, 3)
+	p.OnDeliver(0, 4)
+	if p.OnHandler(0, 0) != 0 {
+		t.Fatal("crash fired after 2 deliveries; window is 3")
+	}
+	p.OnDeliver(0, 5)
+	if got := p.OnHandler(0, 0); got != fault.Crash {
+		t.Fatalf("first handler after the window opened: %v, want crash", got)
+	}
+	log := p.Log()
+	if !log[0].Fired || !log[0].Windowed {
+		t.Errorf("log entry %+v should be fired and windowed", log[0])
+	}
+	if !strings.Contains(log[0].String(), "delivery-window#3") {
+		t.Errorf("log rendering %q lacks the delivery-window unit", log[0])
+	}
+}
+
+// TestWindowTriggerIdleTarget: the window mode expresses what local
+// ordinals cannot — a fault on an entity that is idle until the ring as a
+// whole has made progress. The target's FIRST local event fires the
+// injection if the window is already open.
+func TestWindowTriggerIdleTarget(t *testing.T) {
+	p, err := fault.Scripted(
+		fault.Config{Nodes: 2, Classes: fault.NewSet(fault.Loss), Trigger: fault.TriggerWindow},
+		[]fault.Injection{{Class: fault.Loss, Chan: 1, Trigger: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 1 has had NO sends; the ring progresses elsewhere.
+	p.OnDeliver(0, 2)
+	p.OnDeliver(0, 2)
+	// Now the very first send on the idle channel is hit.
+	if got := p.OnSend(0, 1); got != fault.Loss {
+		t.Fatalf("first send after window opened: %v, want loss", got)
+	}
+}
+
+// TestWindowTriggerLocalUnaffected: under the default TriggerLocal mode,
+// deliveries elsewhere never arm a trigger — the modes are really
+// different interpretations of the same ordinal.
+func TestWindowTriggerLocalUnaffected(t *testing.T) {
+	p, err := fault.Scripted(
+		fault.Config{Nodes: 2, Classes: fault.NewSet(fault.Loss)},
+		[]fault.Injection{{Class: fault.Loss, Chan: 1, Trigger: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.OnDeliver(0, 2)
+	}
+	if p.OnSend(1, 1) != 0 {
+		t.Error("local-mode loss fired at send 1; its trigger is the 2nd send")
+	}
+	if got := p.OnSend(2, 1); got != fault.Loss {
+		t.Errorf("send 2: %v, want loss", got)
+	}
+}

@@ -68,8 +68,10 @@ func DefaultConfig() Config {
 			i("lowerbound"): {i("node"), i("pulse"), i("ring"), i("sim")},
 			i("baseline"):   {i("node"), i("pulse"), i("ring"), i("sim")},
 
-			// Verification and observation layers.
-			i("check"):        {i("node"), i("pulse"), i("ring"), i("sim")},
+			// Verification and observation layers. The checker imports
+			// the fault package for fault.Plan — the exhaustive
+			// counterpart of the runtimes' sampled plane (§9.5).
+			i("check"):        {i("fault"), i("node"), i("pulse"), i("ring"), i("sim")},
 			i("trace"):        {i("node"), i("pulse"), i("sim")},
 			i("viz"):          {i("pulse"), i("sim")},
 			i("differential"): {i("live"), i("node"), i("ring"), i("sim")},
@@ -91,9 +93,11 @@ func DefaultConfig() Config {
 		LayerExempt: []string{m + "/cmd", m + "/examples"},
 
 		// Packages with real shared-memory concurrency: the live runtime,
-		// the parallel exhaustive explorer, and the sharded simulator
-		// (arc workers plus epoch-granular progress counters).
-		AtomicPkgs: []string{i("live"), i("check"), i("sim")},
+		// the parallel exhaustive explorer, the sharded simulator (arc
+		// workers plus epoch-granular progress counters), and the fault
+		// plane (the ring-wide delivery ordinal behind window triggers is
+		// read and advanced from sender/pump/node goroutines in live).
+		AtomicPkgs: []string{i("live"), i("check"), i("sim"), i("fault")},
 
 		// Machines whose Init/OnMsg handlers run inline on the event loops
 		// of internal/sim and internal/live: the algorithms, the universal

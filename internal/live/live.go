@@ -30,9 +30,23 @@
 // are counted before their pulse is offered, and a restart's sends happen
 // inside the handler window — so zero remains a stable witness even on
 // faulted runs.
+//
+// WithSupervisor closes the loop a crash opens. Without it a crashed node
+// is gone for good: its goroutine exits, its queued pulses strand, and the
+// run ends in a StallReport. With it, the dying goroutine hands its node to
+// a supervisor goroutine, which restores the machine (per RestorePolicy),
+// re-spawns the consume loop on the same conduits (the pumps never died),
+// and thereby re-enters the quiescence protocol: the revived node's queued
+// pulses are still in the conservation ledger, so zero — and hence
+// quiescence — becomes reachable again. Under RestoreCheckpoint the
+// machine resumes from its exact crash-time state, so a healed run sends
+// exactly as many pulses as a clean one; under RestoreInit the node comes
+// back amnesiac (init snapshot plus a fresh Init), modeling a fail-stop
+// restart that the quiescently stabilizing algorithms must absorb.
 package live
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -65,6 +79,21 @@ type Result struct {
 	Leaders          []int
 	Statuses         []node.Status
 	TerminationOrder []int
+	// Heals lists, in supervision order, the node index of every crash
+	// the supervisor healed; a node that crashed twice appears twice.
+	Heals []int
+	// Notes is the structured run log: deprecated options, unhealable
+	// crashes, and similar diagnoses that are not errors.
+	Notes []RunNote
+}
+
+// RunNote is one structured run-log entry.
+type RunNote struct {
+	// Code is a stable machine-matchable tag ("deprecated-option",
+	// "unhealable-crash").
+	Code string
+	// Detail is the human-readable elaboration.
+	Detail string
 }
 
 // StallReport is the watchdog's structured diagnosis of a run that failed
@@ -90,6 +119,62 @@ type NodeStall struct {
 	Crashed bool
 	// Status is the machine's final status.
 	Status node.Status
+}
+
+// nodeStallJSON is the wire shape of NodeStall: node.Status is inlined
+// with its Err flattened to a message string, since error values do not
+// survive encoding/json.
+type nodeStallJSON struct {
+	Node           int        `json:"node"`
+	Queued         [2]int     `json:"queued"`
+	Crashed        bool       `json:"crashed,omitempty"`
+	State          node.State `json:"state"`
+	Terminated     bool       `json:"terminated,omitempty"`
+	HasOrientation bool       `json:"hasOrientation,omitempty"`
+	CWPort         pulse.Port `json:"cwPort,omitempty"`
+	Err            string     `json:"err,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler; see nodeStallJSON.
+func (ns NodeStall) MarshalJSON() ([]byte, error) {
+	w := nodeStallJSON{
+		Node:           ns.Node,
+		Queued:         ns.Queued,
+		Crashed:        ns.Crashed,
+		State:          ns.Status.State,
+		Terminated:     ns.Status.Terminated,
+		HasOrientation: ns.Status.HasOrientation,
+		CWPort:         ns.Status.CWPort,
+	}
+	if ns.Status.Err != nil {
+		w.Err = ns.Status.Err.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. A non-empty err string comes
+// back as an opaque error with that message, so a decoded report
+// re-encodes to the same bytes.
+func (ns *NodeStall) UnmarshalJSON(data []byte) error {
+	var w nodeStallJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*ns = NodeStall{
+		Node:    w.Node,
+		Queued:  w.Queued,
+		Crashed: w.Crashed,
+		Status: node.Status{
+			State:          w.State,
+			Terminated:     w.Terminated,
+			HasOrientation: w.HasOrientation,
+			CWPort:         w.CWPort,
+		},
+	}
+	if w.Err != "" {
+		ns.Status.Err = errors.New(w.Err)
+	}
+	return nil
 }
 
 // StallError is the timeout error: it wraps ErrTimeout and carries the
@@ -121,9 +206,12 @@ func (e *StallError) Error() string {
 func (e *StallError) Unwrap() error { return ErrTimeout }
 
 type config struct {
-	timeout time.Duration
-	chaos   uint64 // 0 = off; otherwise a jitter seed
-	plane   *fault.Plane
+	timeout   time.Duration
+	chaos     uint64 // 0 = off; otherwise a jitter seed
+	plane     *fault.Plane
+	supervise bool
+	policy    RestorePolicy
+	notes     []RunNote
 }
 
 // Option configures Run.
@@ -132,13 +220,47 @@ type Option func(*config)
 // WithTimeout bounds the whole run (default 10s).
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
 
-// WithPollInterval is a no-op kept for compatibility: quiescence detection
-// is event-driven (the goroutine whose decrement takes the conservation
-// counter to zero with all nodes initialized signals the supervisor), so
-// there is no poll period left to tune.
+// WithPollInterval has no effect: quiescence detection is event-driven
+// (the goroutine whose decrement takes the conservation counter to zero
+// with all nodes initialized signals the watchdog), so there is no poll
+// period left to tune. Calls are recorded as a "deprecated-option" note
+// in Result.Notes so lingering call sites surface in run logs instead of
+// silently vanishing.
 //
 // Deprecated: remove calls; the option has no effect.
-func WithPollInterval(time.Duration) Option { return func(*config) {} }
+func WithPollInterval(d time.Duration) Option {
+	return func(c *config) {
+		c.notes = append(c.notes, RunNote{
+			Code:   "deprecated-option",
+			Detail: fmt.Sprintf("WithPollInterval(%v) ignored: quiescence detection is event-driven", d),
+		})
+	}
+}
+
+// RestorePolicy selects what state a supervised node is revived with.
+type RestorePolicy uint8
+
+const (
+	// RestoreCheckpoint (the default) resumes the machine from its exact
+	// crash-time state: the crash killed the goroutine, not the state, so
+	// the healed run is pulse-for-pulse identical to a crash-free one.
+	RestoreCheckpoint RestorePolicy = iota
+	// RestoreInit revives the node amnesiac: the machine is restored to
+	// its pre-Init snapshot and re-initialized (its wake-up sends are
+	// counted normally). This models a fail-stop restart with state loss
+	// and requires the machine to be node.Undoable; a crash of a
+	// non-restorable machine is recorded as an "unhealable-crash" note
+	// and left dead.
+	RestoreInit
+)
+
+// WithSupervisor enables crash healing: when a fault-plane crash kills a
+// node's goroutine, a supervisor revives the node under the given policy
+// and the ring re-enters the quiescence protocol. Without a fault plane
+// the option is inert.
+func WithSupervisor(p RestorePolicy) Option {
+	return func(c *config) { c.supervise = true; c.policy = p }
+}
 
 // WithChaos makes every conduit inject pseudo-random scheduling jitter
 // (bursts of runtime.Gosched and occasional microsecond sleeps) before
@@ -175,12 +297,16 @@ func Run(topo ring.Topology, machines []node.PulseMachine, opts ...Option) (Resu
 	}
 
 	r := &netRuntime{
-		topo:     topo,
-		machines: machines,
-		stop:     make(chan struct{}),
-		quiesce:  make(chan struct{}, 1),
-		conduits: make([]*conduit, 2*n),
-		plane:    cfg.plane,
+		topo:      topo,
+		machines:  machines,
+		stop:      make(chan struct{}),
+		quiesce:   make(chan struct{}, 1),
+		conduits:  make([]*conduit, 2*n),
+		plane:     cfg.plane,
+		supervise: cfg.supervise && cfg.plane != nil,
+		policy:    cfg.policy,
+		crashCh:   make(chan int),
+		notes:     cfg.notes,
 	}
 	r.initsLeft.Store(int64(n))
 	if r.plane != nil {
@@ -220,13 +346,16 @@ func Run(topo ring.Topology, machines []node.PulseMachine, opts ...Option) (Resu
 		}
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(n)
+	r.wg.Add(n)
 	for k := 0; k < n; k++ {
-		go r.nodeLoop(k, &wg)
+		go r.nodeLoop(k)
+	}
+	if r.supervise {
+		r.wg.Add(1)
+		go r.superviseLoop()
 	}
 
-	// Supervisor: wait for the quiescence signal, then release the node
+	// Watchdog: wait for the quiescence signal, then release the node
 	// goroutines; at the deadline, diagnose instead.
 	deadline := time.NewTimer(cfg.timeout)
 	defer deadline.Stop()
@@ -250,7 +379,7 @@ monitor:
 	for _, c := range r.conduits {
 		c.close()
 	}
-	wg.Wait()
+	r.wg.Wait()
 
 	res := r.collect()
 	if timedOut {
@@ -265,6 +394,7 @@ type netRuntime struct {
 	conduits  []*conduit
 	stop      chan struct{}
 	quiesce   chan struct{} // buffered(1): edge signal that zero was reached
+	wg        sync.WaitGroup
 	inflight  atomic.Int64
 	initsLeft atomic.Int64
 
@@ -275,13 +405,26 @@ type netRuntime struct {
 
 	mu        sync.Mutex
 	termOrder []int
+	heals     []int
+	notes     []RunNote
 
-	// Fault plane state (nil/absent on model-exact runs). crashed and
-	// initSnaps are written only by each node's own goroutine and read
-	// after wg.Wait, so they need no synchronization of their own.
+	// Fault plane state (nil/absent on model-exact runs). crashed[k],
+	// initSnaps[k], and machines[k] are owned by whichever goroutine is
+	// currently driving node k; ownership starts at the node's goroutine
+	// and transfers through the crashCh handoff (channel send), then to
+	// the revived goroutine (goroutine start), so every write is ordered
+	// and the post-wg.Wait reads in collect/stallReport see the final
+	// values without extra synchronization.
 	plane     *fault.Plane
 	crashed   []bool
 	initSnaps [][]byte
+
+	// Supervision (off unless WithSupervisor and a fault plane are both
+	// present). crashCh carries the index of a crashed node from its
+	// dying goroutine to the supervisor.
+	supervise bool
+	policy    RestorePolicy
+	crashCh   chan int
 }
 
 // noteQuiet signals the supervisor if the conservation counter is zero with
@@ -367,8 +510,8 @@ func (r *netRuntime) applyNodeFault(k int, m node.PulseMachine, em emitter) bool
 	return true
 }
 
-func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (r *netRuntime) nodeLoop(k int) {
+	defer r.wg.Done()
 	m := r.machines[k]
 	em := emitter{r: r, from: k}
 
@@ -377,9 +520,15 @@ func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
 	r.initsLeft.Add(-1)
 	r.noteQuiet()
 	if !alive {
+		r.offerHeal(k)
 		return
 	}
+	r.consume(k, m, em)
+}
 
+// consume runs node k's delivery loop until termination, shutdown, or a
+// fault-plane crash (which it hands to the supervisor when one exists).
+func (r *netRuntime) consume(k int, m node.PulseMachine, em emitter) {
 	in0 := r.conduits[2*k+0]
 	in1 := r.conduits[2*k+1]
 	for {
@@ -409,11 +558,12 @@ func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
 				return
 			}
 			m.OnMsg(pulse.Port0, pulse.Pulse{}, em)
-			alive = r.applyNodeFault(k, m, em)
+			alive := r.applyNodeFault(k, m, em)
 			r.delivered.Add(1)
 			r.inflight.Add(-1)
 			r.noteQuiet()
 			if !alive {
+				r.offerHeal(k)
 				return
 			}
 		case _, ok := <-c1:
@@ -421,15 +571,91 @@ func (r *netRuntime) nodeLoop(k int, wg *sync.WaitGroup) {
 				return
 			}
 			m.OnMsg(pulse.Port1, pulse.Pulse{}, em)
-			alive = r.applyNodeFault(k, m, em)
+			alive := r.applyNodeFault(k, m, em)
 			r.delivered.Add(1)
 			r.inflight.Add(-1)
 			r.noteQuiet()
 			if !alive {
+				r.offerHeal(k)
 				return
 			}
 		}
 	}
+}
+
+// offerHeal hands a crashed node to the supervisor. The WaitGroup slot for
+// the node's next incarnation is reserved BEFORE the handoff, so wg.Wait
+// cannot pass between the old goroutine's exit and the revival; a shutdown
+// racing the handoff releases the reservation instead.
+func (r *netRuntime) offerHeal(k int) {
+	if !r.supervise {
+		return
+	}
+	r.wg.Add(1)
+	select {
+	case r.crashCh <- k:
+	case <-r.stop:
+		r.wg.Done()
+	}
+}
+
+// superviseLoop heals crashes until shutdown.
+func (r *netRuntime) superviseLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case k := <-r.crashCh:
+			r.heal(k)
+		}
+	}
+}
+
+// heal revives crashed node k per the restore policy and re-spawns its
+// consume loop on the same conduits (whose pumps never stopped, so the
+// node's queued pulses — still counted in flight — are waiting for it).
+// The revived node re-enters the quiescence protocol immediately: once it
+// drains its queue the conservation counter can reach zero again. Owns
+// the inherited WaitGroup slot and either passes it to the new goroutine
+// or releases it on an unhealable crash.
+func (r *netRuntime) heal(k int) {
+	m := r.machines[k]
+	em := emitter{r: r, from: k}
+	if r.policy == RestoreInit {
+		u, ok := m.(node.Undoable)
+		if !ok || r.initSnaps[k] == nil {
+			r.note("unhealable-crash", fmt.Sprintf("node %d is not restorable; left dead", k))
+			r.wg.Done()
+			return
+		}
+		u.Restore(r.initSnaps[k])
+	}
+	r.crashed[k] = false
+	r.mu.Lock()
+	r.heals = append(r.heals, k)
+	r.mu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		if r.policy == RestoreInit {
+			// The revival's wake-up; its sends are counted normally, so the
+			// conservation ledger absorbs the amnesiac restart like any
+			// other init. The plane may crash the node again right here.
+			m.Init(em)
+			if !r.applyNodeFault(k, m, em) {
+				r.offerHeal(k)
+				return
+			}
+		}
+		r.consume(k, m, em)
+	}()
+}
+
+// note appends a structured run-log entry.
+func (r *netRuntime) note(code, detail string) {
+	r.mu.Lock()
+	r.notes = append(r.notes, RunNote{Code: code, Detail: detail})
+	r.mu.Unlock()
 }
 
 func (r *netRuntime) collect() Result {
@@ -460,6 +686,8 @@ func (r *netRuntime) collect() Result {
 	}
 	r.mu.Lock()
 	res.TerminationOrder = append(res.TerminationOrder, r.termOrder...)
+	res.Heals = append(res.Heals, r.heals...)
+	res.Notes = append(res.Notes, r.notes...)
 	r.mu.Unlock()
 	return res
 }

@@ -258,8 +258,9 @@ func TestLiveChaosTimeout(t *testing.T) {
 	}
 }
 
-// TestLivePollInterval: a custom quiescence poll period changes detection
-// latency only, never the outcome.
+// TestLivePollInterval: the deprecated option never changes the outcome,
+// and each call is surfaced as a structured "deprecated-option" note in
+// the run log so lingering call sites are visible.
 func TestLivePollInterval(t *testing.T) {
 	ids := []uint64{3, 1, 4}
 	topo, err := ring.Oriented(len(ids))
@@ -280,6 +281,10 @@ func TestLivePollInterval(t *testing.T) {
 	}
 	if want := core.PredictedAlg2Pulses(len(ids), 4); res.Sent != want {
 		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+	if len(res.Notes) != 1 || res.Notes[0].Code != "deprecated-option" ||
+		!strings.Contains(res.Notes[0].Detail, "WithPollInterval(10µs)") {
+		t.Errorf("notes %v, want one deprecated-option note naming WithPollInterval(10µs)", res.Notes)
 	}
 }
 

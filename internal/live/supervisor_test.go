@@ -1,0 +1,308 @@
+package live_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"coleader/internal/core"
+	"coleader/internal/fault"
+	"coleader/internal/live"
+	"coleader/internal/node"
+	"coleader/internal/pulse"
+	"coleader/internal/ring"
+)
+
+// crashPlane builds a scripted plane that crashes each listed node at the
+// given handler ordinal (1 = right after Init, 2 = after the first
+// delivery, ...).
+func crashPlane(t *testing.T, n int, crashes ...fault.Injection) *fault.Plane {
+	t.Helper()
+	p, err := fault.Scripted(fault.Config{Nodes: n, Classes: fault.NewSet(fault.Crash)}, crashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSupervisorHealsCrash is the end-to-end healing loop on both
+// algorithm families: a fault-plane crash kills a node's goroutine
+// mid-election, the supervisor revives it from its checkpoint, and the
+// ring re-quiesces with the max-ID leader and EXACTLY the clean run's
+// pulse count — the crash killed a goroutine, never a pulse.
+func TestSupervisorHealsCrash(t *testing.T) {
+	ids := []uint64{4, 9, 2, 7, 5}
+	idMax := ring.MaxID(ids)
+	wantLeader, _ := ring.MaxIndex(ids)
+	for _, tc := range []struct {
+		name     string
+		machines func(topo ring.Topology) ([]node.PulseMachine, error)
+		sent     uint64
+		termOK   func(res live.Result) bool
+	}{
+		{
+			"alg1",
+			func(topo ring.Topology) ([]node.PulseMachine, error) { return core.Alg1Machines(topo, ids) },
+			core.PredictedAlg1Pulses(len(ids), idMax),
+			func(res live.Result) bool { return !res.AllTerminated }, // stabilizing: quiesces, never terminates
+		},
+		{
+			"alg2",
+			func(topo ring.Topology) ([]node.PulseMachine, error) { return core.Alg2Machines(topo, ids) },
+			core.PredictedAlg2Pulses(len(ids), idMax),
+			func(res live.Result) bool { return res.AllTerminated },
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := ring.Oriented(len(ids))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := tc.machines(topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Crash node 2 after its third handler: deep enough that pulses
+			// are in flight toward it on every schedule.
+			plane := crashPlane(t, len(ids), fault.Injection{Class: fault.Crash, Node: 2, Trigger: 3})
+			res, err := live.Run(topo, ms,
+				live.WithFaultPlane(plane),
+				live.WithSupervisor(live.RestoreCheckpoint),
+				live.WithTimeout(30*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Heals) != 1 || res.Heals[0] != 2 {
+				t.Fatalf("heals %v, want [2] (the plane's log: %v)", res.Heals, fault.FormatLog(plane.Log()))
+			}
+			if !res.Quiescent {
+				t.Error("healed ring did not re-quiesce")
+			}
+			if res.Leader != wantLeader {
+				t.Errorf("leader %d, want %d", res.Leader, wantLeader)
+			}
+			if res.Sent != tc.sent {
+				t.Errorf("sent %d, want the clean run's %d (checkpoint healing conserves pulses exactly)",
+					res.Sent, tc.sent)
+			}
+			if res.Sent != res.Delivered {
+				t.Errorf("sent %d != delivered %d at quiescence", res.Sent, res.Delivered)
+			}
+			if !tc.termOK(res) {
+				t.Errorf("termination shape wrong: AllTerminated=%t", res.AllTerminated)
+			}
+		})
+	}
+}
+
+// TestSupervisorHealsSameNodeTwice: the SAME node crashes twice — once
+// early, once after its revival — and is healed twice. The heal log
+// records both incarnations and the final outcome is still the clean one.
+func TestSupervisorHealsSameNodeTwice(t *testing.T) {
+	ids := []uint64{3, 5, 2}
+	topo, err := ring.Oriented(len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.Alg2Machines(topo, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := crashPlane(t, len(ids),
+		fault.Injection{Class: fault.Crash, Node: 1, Trigger: 2},
+		fault.Injection{Class: fault.Crash, Node: 1, Trigger: 5})
+	res, err := live.Run(topo, ms,
+		live.WithFaultPlane(plane),
+		live.WithSupervisor(live.RestoreCheckpoint),
+		live.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heals) != 2 || res.Heals[0] != 1 || res.Heals[1] != 1 {
+		t.Fatalf("heals %v, want [1 1] (plane log: %v)", res.Heals, fault.FormatLog(plane.Log()))
+	}
+	wantLeader, _ := ring.MaxIndex(ids)
+	if res.Leader != wantLeader || !res.Quiescent || !res.AllTerminated {
+		t.Errorf("leader=%d quiescent=%t terminated=%t after double heal",
+			res.Leader, res.Quiescent, res.AllTerminated)
+	}
+	if want := core.PredictedAlg2Pulses(len(ids), ring.MaxID(ids)); res.Sent != want {
+		t.Errorf("sent %d, want %d", res.Sent, want)
+	}
+}
+
+// oneShot is a minimal Undoable machine: Init sends one pulse on Port1,
+// every received pulse is absorbed. Its whole mutable state is the
+// "did I init" flag plus a received counter — small enough to reason
+// about RestoreInit's amnesia exactly.
+type oneShot struct {
+	inited   bool
+	received uint8
+}
+
+func (o *oneShot) Init(e node.PulseEmitter) {
+	o.inited = true
+	e.Send(pulse.Port1, pulse.Pulse{})
+}
+func (o *oneShot) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) { o.received++ }
+func (o *oneShot) Ready(pulse.Port) bool                            { return true }
+func (o *oneShot) Status() node.Status                              { return node.Status{} }
+func (o *oneShot) SnapshotTo(buf []byte) []byte {
+	b := byte(0)
+	if o.inited {
+		b = 1
+	}
+	return append(buf, b, o.received)
+}
+func (o *oneShot) Restore(snap []byte) {
+	o.inited = snap[0] == 1
+	o.received = snap[1]
+}
+
+// TestSupervisorRestoreInit: under the amnesia policy the revived node is
+// restored to its pre-Init snapshot and re-initialized, so its wake-up
+// pulse is sent TWICE — the healed run's ledger shows exactly one extra
+// send relative to a clean run, and still quiesces.
+func TestSupervisorRestoreInit(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{&oneShot{}, &oneShot{}}
+	plane := crashPlane(t, 2, fault.Injection{Class: fault.Crash, Node: 0, Trigger: 1})
+	res, err := live.Run(topo, ms,
+		live.WithFaultPlane(plane),
+		live.WithSupervisor(live.RestoreInit),
+		live.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heals) != 1 || res.Heals[0] != 0 {
+		t.Fatalf("heals %v, want [0]", res.Heals)
+	}
+	// Clean run: 2 sends. Amnesiac heal: node 0's Init ran twice → 3.
+	if res.Sent != 3 || res.Delivered != 3 || !res.Quiescent {
+		t.Errorf("sent=%d delivered=%d quiescent=%t, want 3/3/true", res.Sent, res.Delivered, res.Quiescent)
+	}
+}
+
+// sink is oneShot without Undoable: RestoreInit cannot revive it.
+type sink struct{}
+
+func (sink) Init(e node.PulseEmitter)                         { e.Send(pulse.Port1, pulse.Pulse{}) }
+func (sink) OnMsg(pulse.Port, pulse.Pulse, node.PulseEmitter) {}
+func (sink) Ready(pulse.Port) bool                            { return true }
+func (sink) Status() node.Status                              { return node.Status{} }
+
+// TestSupervisorUnhealableCrash: a RestoreInit supervisor facing a
+// non-restorable machine records a structured note, leaves the node dead,
+// and the run ends in the usual stall diagnosis.
+func TestSupervisorUnhealableCrash(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{sink{}, sink{}}
+	plane := crashPlane(t, 2, fault.Injection{Class: fault.Crash, Node: 0, Trigger: 1})
+	res, err := live.Run(topo, ms,
+		live.WithFaultPlane(plane),
+		live.WithSupervisor(live.RestoreInit),
+		live.WithTimeout(200*time.Millisecond))
+	if !errors.Is(err, live.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout (node 0 dead, its queue stranded)", err)
+	}
+	if len(res.Heals) != 0 {
+		t.Errorf("heals %v, want none", res.Heals)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if n.Code == "unhealable-crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes %v lack an unhealable-crash entry", res.Notes)
+	}
+	var se *live.StallError
+	if !errors.As(err, &se) {
+		t.Fatal("timeout did not carry a StallError")
+	}
+	foundCrashed := false
+	for _, ns := range se.Report.Nodes {
+		if ns.Node == 0 && ns.Crashed {
+			foundCrashed = true
+		}
+	}
+	if !foundCrashed {
+		t.Errorf("stall report %+v does not name node 0 as crashed", se.Report)
+	}
+}
+
+// TestStallReportJSONRoundTrip: a report captured from a real stalled run
+// survives encode → decode → re-encode byte-identically, including a
+// non-nil machine error flattened to its message.
+func TestStallReportJSONRoundTrip(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{&chatterbox{}, &chatterbox{}}
+	_, err = live.Run(topo, ms, live.WithTimeout(50*time.Millisecond))
+	var se *live.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a StallError", err)
+	}
+	rep := se.Report
+	// Exercise the error-bearing path too; real machine errors reach the
+	// report through Status.
+	if len(rep.Nodes) > 0 {
+		rep.Nodes[0].Status.Err = errors.New("pulse on a provably silent channel")
+	}
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded live.StallReport
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip changed bytes:\n first: %s\nsecond: %s", first, second)
+	}
+	if len(rep.Nodes) > 0 {
+		if decoded.Nodes[0].Status.Err == nil ||
+			decoded.Nodes[0].Status.Err.Error() != rep.Nodes[0].Status.Err.Error() {
+			t.Errorf("status error did not survive: %v", decoded.Nodes[0].Status.Err)
+		}
+	}
+}
+
+// TestErrTimeoutThroughWrapping: errors.Is(err, ErrTimeout) and
+// errors.As(&StallError) both hold through additional %w wrapping layers,
+// the contract callers rely on when they annotate Run errors.
+func TestErrTimeoutThroughWrapping(t *testing.T) {
+	topo, err := ring.Oriented(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []node.PulseMachine{&chatterbox{}, &chatterbox{}}
+	_, runErr := live.Run(topo, ms, live.WithTimeout(50*time.Millisecond))
+	wrapped := fmt.Errorf("experiment harness: %w", fmt.Errorf("trial 3: %w", runErr))
+	if !errors.Is(wrapped, live.ErrTimeout) {
+		t.Errorf("errors.Is(wrapped, ErrTimeout) = false through two wrap layers")
+	}
+	var se *live.StallError
+	if !errors.As(wrapped, &se) {
+		t.Error("errors.As(*StallError) = false through two wrap layers")
+	}
+	if se != nil && se.Report.InFlight == 0 {
+		t.Error("recovered stall report lost its in-flight count")
+	}
+}

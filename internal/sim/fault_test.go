@@ -445,3 +445,46 @@ func TestFlatBankRejectsFaultPlane(t *testing.T) {
 		t.Fatalf("error should name the node.Undoable requirement, got %q", err)
 	}
 }
+
+// TestWindowedFaultDeterminism: TriggerWindow planes are as deterministic
+// on the simulator as local-ordinal ones — identical (seed, config) gives
+// an identical injection log, trace, and result, with the windowed
+// injections actually firing mid-run.
+func TestWindowedFaultDeterminism(t *testing.T) {
+	inst := faultInstances()[1] // alg2
+	cfg := fault.Config{
+		Nodes: 5, Classes: fault.NewSet(fault.Loss, fault.Crash),
+		Budget: 3, Horizon: 12, Trigger: fault.TriggerWindow,
+	}
+	run := func() ([]sim.Event, sim.Result, error, []fault.Injection) {
+		plane, err := fault.New(41, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, res, runErr := runFaulted(t, inst, "random", 7, plane)
+		return ev, res, runErr, plane.Log()
+	}
+	ev1, res1, err1, log1 := run()
+	ev2, res2, err2, log2 := run()
+	if !reflect.DeepEqual(log1, log2) {
+		t.Errorf("windowed injection logs diverge:\n%v\nvs\n%v", log1, log2)
+	}
+	if !reflect.DeepEqual(ev1, ev2) || !reflect.DeepEqual(res1, res2) {
+		t.Errorf("windowed faulted runs diverge")
+	}
+	if (err1 == nil) != (err2 == nil) {
+		t.Errorf("errors diverge: %v vs %v", err1, err2)
+	}
+	fired := 0
+	for _, in := range log1 {
+		if !in.Windowed {
+			t.Errorf("injection %+v not marked windowed", in)
+		}
+		if in.Fired {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Error("no windowed injection fired; the test exercised nothing")
+	}
+}
